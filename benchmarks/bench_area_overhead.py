@@ -1,0 +1,25 @@
+"""Section 4.5.2: routing-table area overhead (< 0.5% of router area)."""
+
+import pytest
+
+from repro.harness.area_overhead import area_overhead
+from repro.power.area import max_table_overhead
+from repro.sim.config import SimConfig
+from repro.topology.mesh import MeshTopology
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    return area_overhead(8, seed=SEED, effort=sa_effort())
+
+
+def test_area_overhead(benchmark, result, capsys):
+    publish(capsys, "area_overhead", result.render())
+    # The paper's DSENT estimate: less than 0.5% of router area.
+    assert result.max_overhead < 0.005
+
+    topo = MeshTopology.mesh(8)
+    cfg = SimConfig(flit_bits=256)
+    benchmark(lambda: max_table_overhead(topo, cfg))

@@ -1,0 +1,38 @@
+"""Figure 10: router static power breakdown (buffer / crossbar / other)."""
+
+import pytest
+
+from repro.harness.designs import reference_designs
+from repro.harness.power_static import fig10
+from repro.power.model import router_static_power
+from repro.sim.config import SimConfig
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10(8, seed=SEED, effort=sa_effort())
+
+
+def test_fig10_static_breakdown(benchmark, result, capsys):
+    publish(capsys, "fig10", result.render())
+
+    by_name = dict(zip(result.schemes, result.breakdowns))
+    mesh, hfb, dc = by_name["Mesh"], by_name["HFB"], by_name["D&C_SA"]
+
+    # Paper claims: buffer static power nearly identical (equal-buffer
+    # rule); crossbar static does NOT increase with express links
+    # (width shrinks by C, ports grow sub-linearly); totals similar.
+    assert abs(dc.buffer_w - mesh.buffer_w) / mesh.buffer_w < 0.15
+    assert dc.crossbar_w < 1.25 * mesh.crossbar_w
+    assert hfb.crossbar_w < 1.25 * mesh.crossbar_w
+    assert abs(dc.total_w - mesh.total_w) / mesh.total_w < 0.15
+    # Buffers dominate router static power.
+    for b in (mesh, hfb, dc):
+        assert b.buffer_w > b.crossbar_w
+
+    designs = reference_designs(8, seed=SEED, effort=sa_effort())
+    topo = designs[2].topology
+    cfg = SimConfig(flit_bits=designs[2].point.flit_bits)
+    benchmark(lambda: router_static_power(topo, cfg))

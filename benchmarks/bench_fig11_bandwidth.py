@@ -1,0 +1,36 @@
+"""Figure 11: impact of bisection bandwidth (2 KGb/s vs 8 KGb/s, 8x8).
+
+The paper's contrast: quadrupling bandwidth improves the mesh only via
+serialization (~2.3%) but lets good express placement convert the
+wires into links (~17.8%).  Times one design-point costing.
+"""
+
+import pytest
+
+from repro.core.latency import BandwidthConfig
+from repro.core.optimizer import design_point
+from repro.harness.bandwidth import fig11
+from repro.topology.row import RowPlacement
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig11(n=8, base_flit_cases=(128, 512), seed=SEED, effort=sa_effort())
+
+
+def test_fig11_bandwidth_impact(benchmark, result, capsys):
+    publish(capsys, "fig11", result.render())
+
+    # The optimizer exploits extra bandwidth far better than the mesh.
+    assert result.dc_sa_gain() > 3 * max(result.mesh_gain(), 1e-9)
+    assert result.dc_sa_gain() > 10.0  # paper: 17.8%
+    assert result.mesh_gain() < 8.0    # paper: 2.3%
+    # At every budget, D&C_SA's best point beats the mesh point.
+    for case in result.cases.values():
+        assert case.best_dc_sa < case.mesh_total
+
+    bw = BandwidthConfig(base_flit_bits=512)
+    placement = RowPlacement(8, frozenset({(0, 4), (4, 7), (1, 3)}))
+    benchmark(lambda: design_point(placement, 4, bw))

@@ -1,0 +1,51 @@
+"""Figure 12: D&C_SA vs exhaustive optimal (latency + runtime ratio).
+
+The paper's instances P(4,2), P(8,2), P(8,3), P(8,4), P(16,2).  Times
+the exhaustive search on the smallest instance as the kernel.
+"""
+
+import pytest
+
+from repro.core.branch_bound import exhaustive_matrix_search
+from repro.core.latency import RowObjective
+from repro.harness.optimal import PAPER_INSTANCES, fig12
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    instances = PAPER_INSTANCES if sa_effort() == "paper" else ((4, 2), (8, 2), (8, 3))
+    return fig12(instances=instances, seed=SEED)
+
+
+def test_fig12_vs_optimal(benchmark, result, capsys):
+    publish(capsys, "fig12", result.render())
+
+    for c in result.comparisons:
+        # Never below the optimum; paper's worst gap is 1.3% (P(8,4)).
+        assert c.dc_sa_energy >= c.optimal_energy - 1e-9
+        assert c.gap_percent <= 3.0
+
+    # The paper's scaling claim (30x at P(8,3) -> ~1000x at P(16,2) in
+    # their implementation): the exhaustive/heuristic runtime ratio
+    # grows steeply with the size of the search space.  Our exhaustive
+    # search prunes mirror-duplicates and memoizes, so absolute ratios
+    # are smaller, but the growth trend must hold and the largest
+    # instance must show a decisive advantage.
+    by_key = {(c.n, c.link_limit): c for c in result.comparisons}
+    if (8, 4) in by_key and (8, 3) in by_key:
+        assert by_key[(8, 4)].runtime_ratio > by_key[(8, 3)].runtime_ratio
+        assert by_key[(8, 4)].runtime_ratio > 20.0
+
+    # Small instances reach the exact optimum, as in the paper.
+    small = {(c.n, c.link_limit): c for c in result.comparisons}
+    for key in ((4, 2), (8, 2)):
+        if key in small:
+            assert small[key].gap_percent == pytest.approx(0.0, abs=1e-9)
+
+    benchmark.pedantic(
+        lambda: exhaustive_matrix_search(8, 2, RowObjective()),
+        rounds=3,
+        iterations=1,
+    )

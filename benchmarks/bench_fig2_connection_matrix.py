@@ -1,0 +1,31 @@
+"""Figure 2: optimal P~(8,4) placement + connection matrix.
+
+Regenerates the paper's worked example by exhaustive search and times
+the matrix decode -> evaluate kernel that dominates every search
+algorithm in the library.
+"""
+
+import pytest
+
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective
+from repro.harness.fig2 import fig2
+
+from benchmarks.conftest import publish
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2()
+
+
+def test_fig2_decode_evaluate_kernel(benchmark, result, capsys):
+    publish(capsys, "fig2", result.render())
+    matrix = ConnectionMatrix.from_placement(result.placement, 4)
+    objective = RowObjective()
+
+    def kernel():
+        return objective(matrix.decode())
+
+    energy = benchmark(kernel)
+    assert energy == pytest.approx(result.energy)

@@ -1,0 +1,50 @@
+"""Figure 5: average packet latency vs link limit C on 4x4/8x8/16x16.
+
+Regenerates all three panels (D&C_SA and OnlySA curves, L_D/L_S
+decomposition, Mesh and HFB design points) and the paper's headline
+reductions; times one full P~(8,4) D&C_SA solve -- the unit of work the
+sweep repeats per C value.
+"""
+
+import pytest
+
+from repro.core.optimizer import solve_row_problem
+from repro.harness.designs import EFFORTS
+from repro.harness.fig5 import fig5_all, render_summary
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def panels():
+    sizes = (4, 8, 16) if sa_effort() == "paper" else (4, 8)
+    return fig5_all(sizes=sizes, seed=SEED, effort=sa_effort())
+
+
+def test_fig5_dc_sa_solve(benchmark, panels, capsys):
+    text = "\n\n".join(p.render() for p in panels.values())
+    text += "\n\n" + render_summary(panels)
+    publish(capsys, "fig5", text)
+
+    # Shape assertions mirroring the paper's Section 5.2 claims.
+    if 8 in panels:
+        r8 = panels[8]
+        assert r8.reduction_vs_mesh() > 15.0  # paper: 23.5%
+        assert r8.reduction_vs_hfb() > 3.0    # paper: 8.0%
+    if 16 in panels:
+        r16 = panels[16]
+        assert r16.reduction_vs_mesh() > 25.0  # paper: 36.4%
+        assert r16.reduction_vs_hfb() > 8.0    # paper: 20.1%
+        # Savings grow with network size.
+        assert r16.reduction_vs_mesh() > panels[8].reduction_vs_mesh()
+    if 4 in panels:
+        # Small network: modest gain vs mesh, parity with HFB.
+        assert panels[4].reduction_vs_mesh() > 2.0
+        assert abs(panels[4].reduction_vs_hfb()) < 12.0
+
+    params = EFFORTS[sa_effort()]
+    benchmark.pedantic(
+        lambda: solve_row_problem(8, 4, method="dc_sa", params=params, rng=SEED),
+        rounds=3 if sa_effort() == "quick" else 2,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Figure 7: placement quality vs normalized runtime (OnlySA vs D&C_SA).
+
+Both schemes get equal evaluation budgets; the x axis is normalized to
+the cost of the divide-and-conquer initial process I(n, 4), exactly as
+in the paper.  Times Procedure I(8,4) itself, the normalization unit.
+"""
+
+import pytest
+
+from repro.core.divide_conquer import initial_solution
+from repro.core.latency import RowObjective
+from repro.harness.runtime import fig7
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def curves():
+    paper = sa_effort() == "paper"
+    budgets = (1, 3, 10, 30, 100, 300, 1_000) if paper else (1, 10, 100)
+    out = {8: fig7(8, link_limit=4, budgets=budgets, seed=SEED)}
+    if paper:
+        out[16] = fig7(16, link_limit=4, budgets=budgets, seed=SEED)
+    return out
+
+
+def test_fig7_initial_solution(benchmark, curves, capsys):
+    text = "\n\n".join(c.render() for c in curves.values())
+    publish(capsys, "fig7", text)
+
+    for n, c in curves.items():
+        dc_final = c.dc_sa[-1]
+        only_final = c.only_sa[-1]
+        # Final qualities are close; D&C_SA is never meaningfully worse.
+        # (Divergence note, recorded in EXPERIMENTS.md: our OnlySA
+        # shares the paper's valid-move generator *and* memoizes
+        # evaluations, so unlike the paper's Figure 7 it can close most
+        # of the gap at very large budgets.)
+        assert dc_final <= only_final * 1.02
+        # The paper's operative claim, time-to-quality: D&C_SA reaches
+        # near-final quality at a budget no larger than OnlySA needs.
+        assert c.budget_to_quality("dc_sa", 0.02) <= c.budget_to_quality(
+            "only_sa", 0.02
+        )
+
+    benchmark.pedantic(
+        lambda: initial_solution(8, 4, RowObjective()),
+        rounds=5,
+        iterations=1,
+    )

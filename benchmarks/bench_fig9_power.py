@@ -1,0 +1,42 @@
+"""Figure 9: router power per PARSEC benchmark (static + dynamic).
+
+Reuses the Figure 6 campaign's activity counters and times the power
+model evaluation itself.
+"""
+
+from repro.harness.designs import mesh_design
+from repro.harness.tables import pct_change
+from repro.power.model import power_report
+from repro.sim.config import SimConfig
+
+from benchmarks.conftest import publish
+
+
+def test_fig9_power_model(benchmark, campaign, capsys):
+    publish(capsys, "fig9", campaign.render_fig9())
+
+    mesh_total = campaign.total_power("Mesh")
+    dc_total = campaign.total_power("D&C_SA")
+    mesh_dyn = campaign.dynamic_power("Mesh")
+    dc_dyn = campaign.dynamic_power("D&C_SA")
+
+    # Paper Section 5.5: total power down ~10.4% vs Mesh, dynamic down
+    # ~15.1%, static roughly equal (within 10%), static ~ 2/3 of total.
+    assert dc_total < mesh_total
+    assert pct_change(dc_dyn, mesh_dyn) > 8.0
+    static_gap = abs(campaign.static_power("D&C_SA") - campaign.static_power("Mesh"))
+    assert static_gap / campaign.static_power("Mesh") < 0.10
+    assert campaign.static_power("Mesh") / mesh_total > 0.5
+
+    # Time the power-model evaluation kernel.
+    cell = campaign.cells[(campaign.benchmarks[0], "Mesh")]
+    topo = mesh_design(8).topology
+    cfg = SimConfig(flit_bits=256)
+    activity = {
+        "buffer_writes": 100_000,
+        "buffer_reads": 100_000,
+        "crossbar_traversals": 100_000,
+        "link_flit_hops": 150_000,
+    }
+    benchmark(lambda: power_report(topo, cfg, activity, cycles=10_000))
+    assert cell.power.total_w > 0

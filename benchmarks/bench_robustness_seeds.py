@@ -1,0 +1,57 @@
+"""Seed-robustness study: the optimizer's spread across random seeds.
+
+Companion to Section 5.3 ("to reduce the randomness in simulated
+annealing, the figure shows the average results"): quantifies how much
+randomness there is to reduce.  D&C_SA's seeding makes it markedly more
+stable than OnlySA at the same budget.
+"""
+
+import pytest
+
+from repro.core.annealing import AnnealingParams
+from repro.core.branch_bound import exhaustive_matrix_search
+from repro.core.latency import RowObjective
+from repro.harness.robustness import seed_robustness
+
+from benchmarks.conftest import publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def study():
+    params = (
+        AnnealingParams(total_moves=4_000, moves_per_cooldown=800)
+        if sa_effort() == "paper"
+        else AnnealingParams(total_moves=800, moves_per_cooldown=200)
+    )
+    seeds = tuple(range(10 if sa_effort() == "paper" else 5))
+    return {
+        (8, 4): seed_robustness(8, 4, seeds=seeds, params=params),
+        (16, 4): seed_robustness(16, 4, seeds=seeds, params=params),
+    }
+
+
+def test_seed_robustness(benchmark, study, capsys):
+    text = "\n\n".join(r.render() for r in study.values())
+    publish(capsys, "robustness_seeds", text)
+
+    # D&C_SA's worst seed stays near its best (tight spread), and its
+    # mean is never worse than OnlySA's at the same budget.
+    for result in study.values():
+        dc = result.spreads["dc_sa"]
+        only = result.spreads["only_sa"]
+        assert dc.worst_gap_percent < 8.0
+        assert dc.mean <= only.mean * 1.01
+        assert dc.std <= only.std + 1e-9
+
+    # On the instance with a known optimum, every D&C_SA seed lands
+    # within 3% of it.
+    exact = exhaustive_matrix_search(8, 4, RowObjective())
+    dc84 = study[(8, 4)].spreads["dc_sa"]
+    assert dc84.worst <= exact.energy * 1.03
+
+    params = AnnealingParams(total_moves=800, moves_per_cooldown=200)
+    benchmark.pedantic(
+        lambda: seed_robustness(8, 4, seeds=(0, 1), params=params),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Section 5.6.4: application-aware placement extra reduction.
+
+With per-benchmark traffic matrices known in advance, re-optimizing
+each row/column buys an additional head-latency reduction (paper:
+~18.1% on average).  Times the weighted-latency evaluation kernel.
+"""
+
+import pytest
+
+from repro.core.annealing import AnnealingParams
+from repro.core.application_aware import weighted_average_head_latency
+from repro.harness.appaware import app_aware
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.traffic.parsec import PARSEC_NAMES, PARSEC_WORKLOADS, workload_gamma
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    paper = sa_effort() == "paper"
+    return app_aware(
+        n=8,
+        benchmarks=PARSEC_NAMES if paper else PARSEC_NAMES[:3],
+        seed=SEED,
+        effort=sa_effort(),
+        params=None if paper else AnnealingParams(total_moves=1_500, moves_per_cooldown=300),
+    )
+
+
+def test_sec564_app_aware(benchmark, result, capsys):
+    publish(capsys, "sec564_app_aware", result.render())
+
+    # Traffic knowledge must help on every benchmark and meaningfully
+    # on average.  Divergence note (EXPERIMENTS.md): the paper reports
+    # 18.1% extra from real full-system traffic; our synthetic PARSEC
+    # matrices are less skewed, yielding single-digit extra reductions
+    # -- on strongly skewed matrices the same optimizer recovers >20%
+    # (tested in tests/core/test_application_aware.py).
+    for row in result.rows:
+        assert row.aware_head <= row.general_head + 1e-6
+    assert result.average_extra_reduction > 2.5
+
+    gamma = workload_gamma(PARSEC_WORKLOADS["dedup"], 8)
+    topo = MeshTopology.uniform(RowPlacement.mesh(8))
+    benchmark(lambda: weighted_average_head_latency(topo, gamma))

@@ -1,0 +1,32 @@
+"""Table 2: maximum zero-load packet latency on 4x4/8x8/16x16."""
+
+import pytest
+
+from repro.core.latency import network_worst_case_latency
+from repro.harness.worstcase import table2
+from repro.topology.row import RowPlacement
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+
+@pytest.fixture(scope="module")
+def result():
+    sizes = (4, 8, 16) if sa_effort() == "paper" else (4, 8)
+    return table2(sizes=sizes, seed=SEED, effort=sa_effort())
+
+
+def test_table2_worst_case(benchmark, result, capsys):
+    publish(capsys, "table2", result.render())
+
+    for n in result.sizes:
+        mesh = result.values[("Mesh", n)]
+        hfb = result.values[("HFB", n)]
+        dc = result.values[("D&C_SA", n)]
+        # Express topologies always beat the mesh in the worst case.
+        assert hfb < mesh
+        assert dc < mesh
+        # At 8x8 and larger, D&C_SA beats the HFB (paper Table 2).
+        if n >= 8:
+            assert dc < hfb
+
+    benchmark(lambda: network_worst_case_latency(RowPlacement.mesh(16), 1))

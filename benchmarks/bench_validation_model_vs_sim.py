@@ -1,0 +1,84 @@
+"""Validation: analytical latency model (Eq. 1/2) vs cycle-accurate sim.
+
+Not a paper figure, but the experiment that justifies the paper's whole
+method: the optimizer minimizes the *analytical* zero-load latency, so
+the analytical model must rank designs the same way the simulator does
+and track its absolute numbers up to the known constants (3-cycle NI
+overhead, serialization off-by-one, sub-cycle contention).
+"""
+
+import pytest
+
+from repro.harness.calibration import NI_OVERHEAD_CYCLES, estimate_contention
+from repro.harness.designs import reference_designs
+from repro.harness.tables import render_table
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def validation():
+    rows = []
+    for design in reference_designs(N, seed=SEED, effort=sa_effort()):
+        analytical = design.point.total_latency + NI_OVERHEAD_CYCLES - 1.0
+        cfg = SimConfig(
+            flit_bits=design.point.flit_bits,
+            warmup_cycles=400,
+            measure_cycles=2_000,
+            max_cycles=40_000,
+            seed=SEED,
+        )
+        traffic = SyntheticTraffic(
+            make_pattern("uniform_random", N), rate=0.02, rng=SEED
+        )
+        summary = Simulator(design.topology, cfg, traffic).run().summary
+        rows.append(
+            {
+                "scheme": design.name,
+                "analytical": analytical,
+                "simulated": summary.avg_network_latency,
+                "error_pct": 100.0
+                * (summary.avg_network_latency - analytical)
+                / analytical,
+            }
+        )
+    return rows
+
+
+def test_model_tracks_simulator(benchmark, validation, capsys):
+    table = render_table(
+        f"Model validation ({N}x{N}, UR @ 0.02): Eq. 2 + NI constants vs simulator",
+        ["scheme", "analytical", "simulated", "residual"],
+        [
+            [r["scheme"], r["analytical"], r["simulated"], f"+{r['error_pct']:.1f}%"]
+            for r in validation
+        ],
+    )
+    publish(capsys, "validation_model_vs_sim", table)
+
+    # Absolute tracking: residual (contention + sampling) under 15%.
+    for r in validation:
+        assert -5.0 < r["error_pct"] < 15.0
+    # Rank preservation: the analytical ordering equals the simulated
+    # ordering -- the property the optimizer depends on.
+    analytical_rank = sorted(validation, key=lambda r: r["analytical"])
+    simulated_rank = sorted(validation, key=lambda r: r["simulated"])
+    assert [r["scheme"] for r in analytical_rank] == [
+        r["scheme"] for r in simulated_rank
+    ]
+
+    # The paper's contention observation: < 1 cycle per hop.
+    cal = estimate_contention(n=N, rate=0.02, measure_cycles=1_000)
+    assert cal.contention_per_hop < 1.0
+
+    benchmark.pedantic(
+        lambda: estimate_contention(n=4, rate=0.02, measure_cycles=500),
+        rounds=2,
+        iterations=1,
+    )

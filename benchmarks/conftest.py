@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark file regenerates one paper table/figure: a
+module-scoped fixture computes the experiment once, ``publish`` writes
+the rendered table both to the terminal (bypassing pytest capture) and
+to ``benchmarks/results/<name>.txt``, and the timed function exercises
+the experiment's dominant kernel.
+
+Scale knob: set ``REPRO_BENCH_EFFORT=quick`` for a fast smoke pass
+(CI), default is the paper-fidelity configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: "paper" (default) or "quick".
+EFFORT = os.environ.get("REPRO_BENCH_EFFORT", "paper")
+
+#: Shared seed so cached design sweeps are reused across bench files.
+SEED = 2019
+
+
+def sa_effort() -> str:
+    return "paper" if EFFORT == "paper" else "quick"
+
+
+def publish(capsys, name: str, text: str) -> None:
+    """Write a rendered experiment table to terminal and results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def effort() -> str:
+    return sa_effort()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The PARSEC simulation campaign shared by Figures 6 and 9."""
+    from repro.harness.parsec import parsec_campaign
+    from repro.traffic.parsec import PARSEC_NAMES
+
+    quick = sa_effort() != "paper"
+    return parsec_campaign(
+        n=8,
+        benchmarks=PARSEC_NAMES[:4] if quick else PARSEC_NAMES,
+        seed=SEED,
+        effort=sa_effort(),
+        warmup_cycles=300 if quick else 500,
+        measure_cycles=1_000 if quick else 2_000,
+    )

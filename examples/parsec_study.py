@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""PARSEC workload study: Mesh vs HFB vs D&C_SA (paper Figures 6 and 9).
+
+Simulates PARSEC-style workloads on the three comparison topologies and
+prints the per-benchmark latency table plus the power comparison.
+
+Usage::
+
+    python examples/parsec_study.py [--n 8] [--benchmarks canneal,ferret]
+        [--full]
+"""
+
+import argparse
+
+from repro.harness.parsec import parsec_campaign
+from repro.traffic.parsec import PARSEC_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8)
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default="blackscholes,canneal,fluidanimate,x264",
+        help="comma-separated benchmark names, or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale annealing and longer simulation windows",
+    )
+    args = parser.parse_args()
+
+    benchmarks = (
+        PARSEC_NAMES
+        if args.benchmarks == "all"
+        else tuple(args.benchmarks.split(","))
+    )
+    campaign = parsec_campaign(
+        n=args.n,
+        benchmarks=benchmarks,
+        seed=args.seed,
+        effort="paper" if args.full else "quick",
+        warmup_cycles=500 if args.full else 300,
+        measure_cycles=2_000 if args.full else 1_000,
+    )
+    print(campaign.render_fig6())
+    print()
+    print(campaign.render_fig9())
+
+
+if __name__ == "__main__":
+    main()

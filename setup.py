@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` on offline machines.
+"""
+from setuptools import setup
+
+setup()

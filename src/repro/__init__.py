@@ -1,0 +1,114 @@
+"""repro: Express Link Placement for NoC-Based Many-Core Platforms.
+
+A complete reproduction of Li, Zhu and Chen (ICPP 2019): the express
+link placement optimizer (divide-and-conquer seeded simulated annealing
+over a connection-matrix search space), the mesh/HFB baselines, a
+cycle-accurate wormhole NoC simulator, synthetic and PARSEC-style
+traffic models, a DSENT-style power/area model, and drivers that
+regenerate every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import optimize, MeshTopology
+
+    sweep = optimize(8, method="dc_sa", rng=2019)
+    best = sweep.best
+    print(best.link_limit, best.total_latency, best.placement)
+    topology = MeshTopology.uniform(best.placement)
+"""
+
+from repro.core import (
+    AnnealingParams,
+    BandwidthConfig,
+    ConnectionMatrix,
+    DesignPoint,
+    PacketMix,
+    RowObjective,
+    SweepResult,
+    anneal,
+    branch_and_bound,
+    design_point,
+    exhaustive_matrix_search,
+    initial_solution,
+    network_average_latency,
+    network_worst_case_latency,
+    optimize,
+    optimize_application_aware,
+    optimize_rectangular,
+    best_rectangular,
+    naive_anneal,
+    solve_row_problem,
+)
+from repro.routing import HopCostModel, RoutingTables, compute_route, is_deadlock_free
+from repro.sim import SimConfig, Simulator
+from repro.topology import (
+    MeshTopology,
+    RowPlacement,
+    flattened_butterfly,
+    hybrid_flattened_butterfly,
+)
+from repro.traffic import (
+    MatrixTraffic,
+    SyntheticTraffic,
+    make_pattern,
+    parsec_traffic,
+)
+from repro.power import power_report, router_static_power
+from repro.analysis import channel_loads
+from repro.io import (
+    load_placement,
+    load_sweep,
+    load_topology,
+    save_placement,
+    save_sweep,
+    save_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnealingParams",
+    "BandwidthConfig",
+    "ConnectionMatrix",
+    "DesignPoint",
+    "PacketMix",
+    "RowObjective",
+    "SweepResult",
+    "anneal",
+    "branch_and_bound",
+    "design_point",
+    "exhaustive_matrix_search",
+    "initial_solution",
+    "network_average_latency",
+    "network_worst_case_latency",
+    "optimize",
+    "optimize_application_aware",
+    "optimize_rectangular",
+    "best_rectangular",
+    "naive_anneal",
+    "solve_row_problem",
+    "HopCostModel",
+    "RoutingTables",
+    "compute_route",
+    "is_deadlock_free",
+    "SimConfig",
+    "Simulator",
+    "MeshTopology",
+    "RowPlacement",
+    "flattened_butterfly",
+    "hybrid_flattened_butterfly",
+    "MatrixTraffic",
+    "SyntheticTraffic",
+    "make_pattern",
+    "parsec_traffic",
+    "power_report",
+    "router_static_power",
+    "channel_loads",
+    "load_placement",
+    "load_sweep",
+    "load_topology",
+    "save_placement",
+    "save_sweep",
+    "save_topology",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Static network analysis: channel loads and throughput bounds."""
+
+from repro.analysis.channel_load import (
+    ChannelLoadReport,
+    bisection_loads,
+    channel_loads,
+    load_balance_stats,
+    uniform_gamma,
+)
+
+__all__ = [
+    "ChannelLoadReport",
+    "bisection_loads",
+    "channel_loads",
+    "load_balance_stats",
+    "uniform_gamma",
+]

@@ -1,0 +1,170 @@
+"""Static channel-load analysis and throughput bounds.
+
+Classic interconnection-network analysis (Dally & Towles): under a
+traffic matrix ``gamma`` (packets/node/cycle, normalized) and a
+deterministic routing function, each directed channel ``c`` carries an
+expected flit load
+
+.. math::
+
+    \\ell(c) = \\sum_{s,d} \\gamma_{sd} \\cdot F_{sd} \\cdot [c \\in route(s,d)]
+
+with ``F_sd`` the expected flits per packet.  A channel saturates when
+its load reaches one flit per cycle, so the network's ideal saturation
+throughput is ``1 / max_c ell(c)`` (in injected packets per cycle at
+the given traffic split).
+
+This quantifies the paper's Figure 8(b) observations *analytically*:
+the HFB's quadrant-seam links concentrate load (throughput below half
+of the mesh), while good express placement spreads it.  The simulator's
+measured saturation should land below but near this bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.latency import PacketMix
+from repro.routing.dor import compute_route
+from repro.routing.tables import RoutingTables
+from repro.util.errors import ConfigurationError
+
+DirectedChannel = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ChannelLoadReport:
+    """Per-channel expected loads and the derived throughput bounds."""
+
+    loads: Dict[DirectedChannel, float]
+    flits_per_packet: float
+    #: Expected flit load of the busiest channel per injected
+    #: packet/cycle of aggregate traffic.
+    max_load_per_packet: float
+    #: Flit load of the busiest *injection* channel per aggregate
+    #: packet/cycle (each NI injects at most one flit per cycle, which
+    #: is the binding constraint for narrow-flit express designs).
+    max_injection_load_per_packet: float = 0.0
+    #: Same for the busiest ejection channel.
+    max_ejection_load_per_packet: float = 0.0
+
+    @property
+    def bottleneck(self) -> DirectedChannel:
+        return max(self.loads, key=self.loads.get)
+
+    @property
+    def channel_bound(self) -> float:
+        """Aggregate rate at which the worst network channel saturates."""
+        if self.max_load_per_packet <= 0:
+            return float("inf")
+        return 1.0 / self.max_load_per_packet
+
+    @property
+    def injection_bound(self) -> float:
+        """Aggregate rate at which the busiest NI saturates."""
+        if self.max_injection_load_per_packet <= 0:
+            return float("inf")
+        return 1.0 / self.max_injection_load_per_packet
+
+    @property
+    def ejection_bound(self) -> float:
+        if self.max_ejection_load_per_packet <= 0:
+            return float("inf")
+        return 1.0 / self.max_ejection_load_per_packet
+
+    @property
+    def saturation_packets_per_cycle(self) -> float:
+        """The binding bound: min of channel, injection and ejection."""
+        return min(self.channel_bound, self.injection_bound, self.ejection_bound)
+
+    def load_of(self, a: int, b: int) -> float:
+        return self.loads.get((a, b), 0.0)
+
+
+def uniform_gamma(num_nodes: int) -> np.ndarray:
+    """The uniform-random traffic matrix (normalized to sum 1)."""
+    g = np.ones((num_nodes, num_nodes))
+    np.fill_diagonal(g, 0.0)
+    return g / g.sum()
+
+
+def channel_loads(
+    tables: RoutingTables,
+    gamma: Optional[np.ndarray] = None,
+    mix: PacketMix | None = None,
+    flit_bits: int = 256,
+) -> ChannelLoadReport:
+    """Expected per-channel flit load under ``gamma``.
+
+    ``gamma`` is normalized to sum 1; reported loads are per one
+    aggregate injected packet/cycle, so multiply by the injection rate
+    to get utilization, or invert the max for the saturation bound.
+    """
+    num = tables.topology.num_nodes
+    if gamma is None:
+        g = uniform_gamma(num)
+    else:
+        g = np.asarray(gamma, dtype=float)
+        if g.shape != (num, num):
+            raise ConfigurationError(f"gamma shape {g.shape} != ({num}, {num})")
+        total = g.sum()
+        if total <= 0:
+            raise ConfigurationError("gamma must have positive sum")
+        g = g / total
+
+    mix = mix or PacketMix.paper_default()
+    flits = mix.serialization_cycles(flit_bits)  # expected flits/packet
+
+    loads: Dict[DirectedChannel, float] = {}
+    for src in range(num):
+        row = g[src]
+        for dst in np.flatnonzero(row):
+            weight = row[dst] * flits
+            path = compute_route(tables, src, int(dst))
+            for a, b in zip(path, path[1:]):
+                loads[(a, b)] = loads.get((a, b), 0.0) + weight
+    max_load = max(loads.values()) if loads else 0.0
+    inj = float(g.sum(axis=1).max()) * flits
+    ej = float(g.sum(axis=0).max()) * flits
+    return ChannelLoadReport(
+        loads=loads,
+        flits_per_packet=flits,
+        max_load_per_packet=max_load,
+        max_injection_load_per_packet=inj,
+        max_ejection_load_per_packet=ej,
+    )
+
+
+def bisection_loads(
+    report: ChannelLoadReport,
+    tables: RoutingTables,
+) -> Dict[DirectedChannel, float]:
+    """Loads of the channels crossing the vertical mid-line.
+
+    For the HFB these are the Figure 4 seam links whose congestion
+    causes the throughput collapse of Figure 8(b).
+    """
+    topo = tables.topology
+    mid = topo.n / 2.0 - 0.5
+    out = {}
+    for (a, b), load in report.loads.items():
+        ax, _ = topo.coords(a)
+        bx, _ = topo.coords(b)
+        if (ax - mid) * (bx - mid) < 0:
+            out[(a, b)] = load
+    return out
+
+
+def load_balance_stats(report: ChannelLoadReport) -> Dict[str, float]:
+    """Summary statistics of the load distribution."""
+    values = np.array(list(report.loads.values()))
+    return {
+        "channels": float(len(values)),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "p95": float(np.percentile(values, 95)),
+        "imbalance": float(values.max() / values.mean()),
+    }

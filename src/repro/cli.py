@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's flow without writing Python:
+
+* ``optimize`` -- sweep C and print the design table for one mesh size,
+* ``solve``    -- solve a single ``P~(n, C)`` instance,
+* ``simulate`` -- run the cycle-accurate simulator on a chosen scheme,
+* ``inspect``  -- show a placement's structure, matrix and audits,
+* ``experiments`` -- list the paper-figure regenerators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.optimizer import optimize, solve_row_problem
+from repro.harness.designs import EFFORTS, hfb_design, mesh_design
+from repro.harness.tables import pct_change, render_table
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.validate import audit_row
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.parsec import PARSEC_NAMES, parsec_traffic
+from repro.traffic.patterns import PATTERNS, make_pattern
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument(
+        "--effort", choices=sorted(EFFORTS), default="paper", help="annealing budget"
+    )
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    sweep = optimize(
+        args.n, method=args.method, params=EFFORTS[args.effort], rng=args.seed
+    )
+    if args.save:
+        from repro.io import save_sweep
+
+        save_sweep(sweep, args.save)
+        print(f"sweep saved to {args.save}")
+    rows = []
+    for c, point in sorted(sweep.points.items()):
+        rows.append(
+            [
+                c,
+                point.flit_bits,
+                point.latency.head,
+                point.latency.serialization,
+                point.total_latency,
+                len(point.placement.express_links),
+            ]
+        )
+    print(
+        render_table(
+            f"{args.n}x{args.n} design sweep ({args.method})",
+            ["C", "flit bits", "L_D", "L_S", "total", "express links"],
+            rows,
+        )
+    )
+    best = sweep.best
+    mesh = mesh_design(args.n)
+    print(f"\nbest: C={best.link_limit}, flit={best.flit_bits}b, "
+          f"total={best.total_latency:.2f} cycles "
+          f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
+    print(f"row placement: {sorted(best.placement.express_links)}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    sol = solve_row_problem(
+        args.n,
+        args.c,
+        method=args.method,
+        params=EFFORTS[args.effort],
+        rng=args.seed,
+    )
+    print(f"P~({args.n},{args.c}) [{args.method}]")
+    print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
+    print(f"  express links: {sorted(sol.placement.express_links)}")
+    print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.scheme == "mesh":
+        design = mesh_design(args.n)
+    elif args.scheme == "hfb":
+        design = hfb_design(args.n)
+    else:
+        from repro.harness.designs import dc_sa_design
+
+        design = dc_sa_design(args.n, seed=args.seed, effort=args.effort)
+
+    cfg = SimConfig(
+        flit_bits=design.point.flit_bits,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        max_cycles=max(50_000, 20 * (args.warmup + args.measure)),
+        seed=args.seed,
+    )
+    if args.workload in PARSEC_NAMES:
+        traffic = parsec_traffic(args.workload, args.n, rng=args.seed)
+    else:
+        traffic = SyntheticTraffic(
+            make_pattern(args.workload, args.n),
+            rate=args.rate,
+            rng=args.seed,
+        )
+    result = Simulator(design.topology, cfg, traffic).run()
+    s = result.summary
+    print(f"{design.name} on {args.n}x{args.n}, workload={args.workload}")
+    print(f"  packets measured: {s.packets} (drained: {result.drained})")
+    print(f"  avg network latency: {s.avg_network_latency:.2f} cycles")
+    print(f"  avg head latency:    {s.avg_head_latency:.2f} cycles")
+    print(f"  avg serialization:   {s.avg_serialization_latency:.2f} cycles")
+    print(f"  throughput:          {s.throughput_packets_per_cycle:.3f} packets/cycle")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    sol = solve_row_problem(
+        args.n, args.c, method=args.method, params=EFFORTS[args.effort], rng=args.seed
+    )
+    report = audit_row(sol.placement, args.c)
+    print(f"P~({args.n},{args.c}) [{args.method}]: {sorted(sol.placement.express_links)}")
+    print(f"cross-section counts: {report['cross_section_counts']}")
+    print(f"utilization: {report['utilization'] * 100:.0f}%, "
+          f"wire length: {report['total_wire_length']} units")
+    print("connection matrix:")
+    print(ConnectionMatrix.from_placement(sol.placement, args.c))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.channel_load import channel_loads, load_balance_stats
+    from repro.routing.tables import RoutingTables
+
+    if args.scheme == "mesh":
+        design = mesh_design(args.n)
+    elif args.scheme == "hfb":
+        design = hfb_design(args.n)
+    else:
+        from repro.harness.designs import dc_sa_design
+
+        design = dc_sa_design(args.n, seed=args.seed, effort=args.effort)
+    tables = RoutingTables.build(design.topology)
+    report = channel_loads(tables, flit_bits=design.point.flit_bits)
+    stats = load_balance_stats(report)
+    print(f"{design.name} on {args.n}x{args.n} "
+          f"(C={design.point.link_limit}, flit={design.point.flit_bits}b), "
+          f"uniform traffic, paper packet mix:")
+    print(f"  channel saturation bound:  {report.channel_bound:.2f} packets/cycle")
+    print(f"  NI injection bound:        {report.injection_bound:.2f} packets/cycle")
+    print(f"  binding bound:             {report.saturation_packets_per_cycle:.2f} packets/cycle")
+    print(f"  busiest channel:           {report.bottleneck}")
+    print(f"  load imbalance (max/mean): {stats['imbalance']:.2f}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print("Paper-figure regenerators (run with pytest <file> --benchmark-only):")
+    experiments = [
+        ("Figure 2", "benchmarks/bench_fig2_connection_matrix.py"),
+        ("Figure 5", "benchmarks/bench_fig5_latency_vs_c.py"),
+        ("Figure 6", "benchmarks/bench_fig6_parsec_latency.py"),
+        ("Figure 7", "benchmarks/bench_fig7_runtime.py"),
+        ("Figure 8", "benchmarks/bench_fig8_synthetic.py"),
+        ("Figure 9", "benchmarks/bench_fig9_power.py"),
+        ("Figure 10", "benchmarks/bench_fig10_static_breakdown.py"),
+        ("Figure 11", "benchmarks/bench_fig11_bandwidth.py"),
+        ("Figure 12", "benchmarks/bench_fig12_optimal.py"),
+        ("Table 2", "benchmarks/bench_table2_worst_case.py"),
+        ("Section 5.6.4", "benchmarks/bench_sec564_app_aware.py"),
+        ("Section 4.5.2", "benchmarks/bench_area_overhead.py"),
+        ("Ablation 4.4.2", "benchmarks/bench_ablation_candidate_generator.py"),
+        ("Ablation 4.2", "benchmarks/bench_ablation_routing_modes.py"),
+        ("Model validation", "benchmarks/bench_validation_model_vs_sim.py"),
+        ("Throughput bounds", "benchmarks/bench_analysis_channel_load.py"),
+        ("Seed robustness", "benchmarks/bench_robustness_seeds.py"),
+        ("Fixed baselines", "benchmarks/bench_extension_fixed_baselines.py"),
+    ]
+    for name, path in experiments:
+        print(f"  {name:<18} {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Express Link Placement for NoC-Based Many-Core Platforms "
+        "(ICPP 2019) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("optimize", help="sweep C and pick the best design")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--method", choices=("dc_sa", "only_sa"), default="dc_sa")
+    p.add_argument("--save", metavar="FILE", help="write the sweep as JSON")
+    _add_common(p)
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser(
+        "analyze", help="channel-load throughput bounds for a scheme"
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--scheme", choices=("mesh", "hfb", "dc_sa"), default="dc_sa")
+    _add_common(p)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("solve", help="solve one P~(n, C) instance")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--c", type=int, default=4)
+    p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
+    _add_common(p)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("simulate", help="cycle-accurate simulation of a scheme")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--scheme", choices=("mesh", "hfb", "dc_sa"), default="dc_sa")
+    p.add_argument(
+        "--workload",
+        default="uniform_random",
+        help=f"synthetic pattern ({', '.join(sorted(PATTERNS))}) or PARSEC "
+        f"name ({', '.join(PARSEC_NAMES)})",
+    )
+    p.add_argument("--rate", type=float, default=0.02, help="packets/node/cycle")
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--measure", type=int, default=2_000)
+    _add_common(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("inspect", help="show a placement's structure")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--c", type=int, default=4)
+    p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
+    _add_common(p)
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("experiments", help="list paper-figure regenerators")
+    p.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

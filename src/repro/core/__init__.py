@@ -1,0 +1,92 @@
+"""Core contribution: express-link placement optimization (Sections 3-4)."""
+
+from repro.core.latency import (
+    BandwidthConfig,
+    LatencyBreakdown,
+    PacketMix,
+    RowObjective,
+    full_connectivity_limit,
+    mean_row_head_latency,
+    mesh_average_head_latency_2d,
+    network_average_latency,
+    network_worst_case_latency,
+    row_head_latency_matrix,
+    worst_case_head_latency_2d,
+)
+from repro.core.connection_matrix import ConnectionMatrix, enumerate_matrices
+from repro.core.annealing import (
+    AnnealingParams,
+    AnnealingResult,
+    MemoizedObjective,
+    anneal,
+)
+from repro.core.branch_bound import (
+    ExactResult,
+    branch_and_bound,
+    effective_link_limit,
+    exhaustive_matrix_search,
+)
+from repro.core.divide_conquer import InitialSolution, initial_solution
+from repro.core.optimizer import (
+    DesignPoint,
+    METHODS,
+    RectDesignPoint,
+    RowSolution,
+    SweepResult,
+    best_rectangular,
+    design_point,
+    optimize,
+    optimize_rectangular,
+    solve_row_problem,
+)
+from repro.core.naive_annealing import NaiveAnnealingResult, naive_anneal
+from repro.core.application_aware import (
+    ApplicationAwareResult,
+    col_weights,
+    optimize_application_aware,
+    row_weights,
+    weighted_average_head_latency,
+)
+
+__all__ = [
+    "BandwidthConfig",
+    "LatencyBreakdown",
+    "PacketMix",
+    "RowObjective",
+    "full_connectivity_limit",
+    "mean_row_head_latency",
+    "mesh_average_head_latency_2d",
+    "network_average_latency",
+    "network_worst_case_latency",
+    "row_head_latency_matrix",
+    "worst_case_head_latency_2d",
+    "ConnectionMatrix",
+    "enumerate_matrices",
+    "AnnealingParams",
+    "AnnealingResult",
+    "MemoizedObjective",
+    "anneal",
+    "ExactResult",
+    "branch_and_bound",
+    "effective_link_limit",
+    "exhaustive_matrix_search",
+    "InitialSolution",
+    "initial_solution",
+    "DesignPoint",
+    "METHODS",
+    "RectDesignPoint",
+    "best_rectangular",
+    "optimize_rectangular",
+    "NaiveAnnealingResult",
+    "naive_anneal",
+    "RowSolution",
+    "SweepResult",
+    "design_point",
+    "optimize",
+    "solve_row_problem",
+    "ApplicationAwareResult",
+    "col_weights",
+    "optimize_application_aware",
+    "row_weights",
+    "weighted_average_head_latency",
+]

@@ -1,0 +1,193 @@
+"""Simulated annealing over the connection-matrix space (Section 4.4).
+
+The engine follows the paper's setup exactly (Table 1):
+
+* exponential acceptance ``exp(-dL / T)`` for uphill moves,
+* linear-in-stages cooling -- the temperature is *divided* by the
+  cooldown scale ``S_c`` after every ``m_c`` moves,
+* moves flip a single connection point of the matrix, which keeps every
+  visited state valid and every valid placement reachable,
+* default parameters ``T0 = 10`` cycles, ``m = 10^4`` total moves,
+  ``S_c = 2``, ``m_c = 10^3``.
+
+The objective is pluggable (any callable ``RowPlacement -> float``); the
+paper's is the mean row head latency evaluated by directional
+Floyd-Warshall, and Section 5.6.4 swaps in a traffic-weighted variant.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.topology.row import RowPlacement
+from repro.util.rngtools import ensure_rng
+
+Objective = Callable[[RowPlacement], float]
+
+
+@dataclass(frozen=True)
+class AnnealingParams:
+    """Simulated-annealing hyperparameters (paper Table 1)."""
+
+    initial_temperature: float = 10.0
+    total_moves: int = 10_000
+    cooldown_scale: float = 2.0
+    moves_per_cooldown: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        if self.total_moves < 0:
+            raise ValueError("total moves must be nonnegative")
+        if self.cooldown_scale <= 1.0:
+            raise ValueError("cooldown scale must be > 1")
+        if self.moves_per_cooldown <= 0:
+            raise ValueError("moves per cooldown must be positive")
+
+    def temperature(self, move_index: int) -> float:
+        """Temperature in effect at ``move_index`` (0-based)."""
+        stages = move_index // self.moves_per_cooldown
+        return self.initial_temperature / (self.cooldown_scale ** stages)
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one annealing run.
+
+    ``trace`` records ``(evaluation_count, best_energy_so_far)`` pairs
+    -- the raw data behind the paper's Figure 7 quality-vs-runtime
+    curves, where runtime is measured in objective evaluations.
+    """
+
+    best_placement: RowPlacement
+    best_energy: float
+    initial_energy: float
+    evaluations: int
+    accepted_moves: int
+    uphill_accepted: int
+    wall_time_s: float
+    trace: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional energy reduction relative to the initial state."""
+        if self.initial_energy == 0:
+            return 0.0
+        return (self.initial_energy - self.best_energy) / self.initial_energy
+
+
+class MemoizedObjective:
+    """Objective wrapper caching energies by placement.
+
+    SA frequently revisits states (a flip and its undo decode to the
+    same placement), and distinct matrices can decode identically; the
+    cache turns those repeats into dictionary hits.  Also counts true
+    evaluations for runtime normalization (Figure 7).
+    """
+
+    def __init__(self, objective: Objective) -> None:
+        self._objective = objective
+        self._cache: dict = {}
+        self.evaluations = 0
+        self.calls = 0
+
+    def __call__(self, placement: RowPlacement) -> float:
+        self.calls += 1
+        hit = self._cache.get(placement)
+        if hit is not None:
+            return hit
+        value = self._objective(placement)
+        self._cache[placement] = value
+        self.evaluations += 1
+        return value
+
+
+def anneal(
+    initial: ConnectionMatrix,
+    objective: Objective,
+    params: AnnealingParams | None = None,
+    rng=None,
+    max_evaluations: Optional[int] = None,
+    trace_every: int = 1,
+) -> AnnealingResult:
+    """Run simulated annealing from ``initial`` and return the best state.
+
+    Parameters
+    ----------
+    initial:
+        Starting connection matrix (mutated in place during the run; a
+        copy is taken so the caller's object is untouched).
+    objective:
+        Energy function on decoded placements; lower is better.
+    params:
+        Schedule parameters; defaults to the paper's Table 1.
+    max_evaluations:
+        Optional hard cap on *unique* objective evaluations -- the
+        budget knob used to compare OnlySA and D&C_SA at equal runtime
+        (Section 5.3).
+    trace_every:
+        Record the best-so-far energy every this many moves.
+    """
+    params = params or AnnealingParams()
+    gen = ensure_rng(rng)
+    memo = MemoizedObjective(objective)
+    state = initial.copy()
+
+    start = time.perf_counter()
+    current_energy = memo(state.decode())
+    initial_energy = current_energy
+    best_placement = state.decode()
+    best_energy = current_energy
+    trace: List[Tuple[int, float]] = [(memo.evaluations, best_energy)]
+    accepted = 0
+    uphill = 0
+
+    if state.num_connection_points == 0:
+        # C = 1 or n = 2: the mesh row is the only state.
+        return AnnealingResult(
+            best_placement=best_placement,
+            best_energy=best_energy,
+            initial_energy=initial_energy,
+            evaluations=memo.evaluations,
+            accepted_moves=0,
+            uphill_accepted=0,
+            wall_time_s=time.perf_counter() - start,
+            trace=trace,
+        )
+
+    for move in range(params.total_moves):
+        if max_evaluations is not None and memo.evaluations >= max_evaluations:
+            break
+        row, layer = state.random_move(gen)
+        state.flip(row, layer)
+        candidate = state.decode()
+        energy = memo(candidate)
+        delta = energy - current_energy
+        if delta <= 0 or gen.random() < math.exp(-delta / params.temperature(move)):
+            current_energy = energy
+            accepted += 1
+            if delta > 0:
+                uphill += 1
+            if energy < best_energy:
+                best_energy = energy
+                best_placement = candidate
+        else:
+            state.flip(row, layer)  # undo
+        if move % trace_every == 0:
+            trace.append((memo.evaluations, best_energy))
+
+    trace.append((memo.evaluations, best_energy))
+    return AnnealingResult(
+        best_placement=best_placement,
+        best_energy=best_energy,
+        initial_energy=initial_energy,
+        evaluations=memo.evaluations,
+        accepted_moves=accepted,
+        uphill_accepted=uphill,
+        wall_time_s=time.perf_counter() - start,
+        trace=trace,
+    )

@@ -1,0 +1,316 @@
+"""Top-level express-link placement optimizer (Section 4 entry point).
+
+The overall flow of the paper: for every feasible cross-section limit
+``C`` (Section 4.1), solve the one-dimensional placement problem
+``P~(n, C)`` that minimizes average head latency, add the serialization
+latency implied by the flit width ``b = b_base / C``, and keep the
+``C`` whose total is lowest.
+
+Three solving methods are exposed:
+
+* ``"dc_sa"``   -- the paper's proposal: divide-and-conquer initial
+  solution + simulated annealing (D&C_SA),
+* ``"only_sa"`` -- simulated annealing from a random matrix (OnlySA),
+* ``"exact"``   -- exhaustive optimal (small instances only).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.annealing import (
+    AnnealingParams,
+    AnnealingResult,
+    Objective,
+    anneal,
+)
+from repro.core.branch_bound import (
+    ExactResult,
+    effective_link_limit,
+    exhaustive_matrix_search,
+)
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.divide_conquer import InitialSolution, initial_solution
+from repro.core.latency import (
+    BandwidthConfig,
+    LatencyBreakdown,
+    PacketMix,
+    RowObjective,
+    network_average_latency,
+)
+from repro.routing.shortest_path import HopCostModel
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+from repro.util.rngtools import ensure_rng
+
+#: Recognized solver names.
+METHODS = ("dc_sa", "only_sa", "exact")
+
+
+@dataclass(frozen=True)
+class RowSolution:
+    """Solution of one ``P~(n, C)`` instance."""
+
+    n: int
+    link_limit: int
+    placement: RowPlacement
+    energy: float
+    method: str
+    evaluations: int
+    wall_time_s: float
+    annealing: Optional[AnnealingResult] = None
+    seed_solution: Optional[InitialSolution] = None
+    exact: Optional[ExactResult] = None
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully-costed design: placement + latency breakdown (Eq. 2)."""
+
+    n: int
+    link_limit: int
+    flit_bits: int
+    placement: RowPlacement
+    latency: LatencyBreakdown
+
+    @property
+    def total_latency(self) -> float:
+        return self.latency.total
+
+
+@dataclass
+class SweepResult:
+    """Outcome of the full ``C`` sweep for one network size."""
+
+    n: int
+    method: str
+    points: Dict[int, DesignPoint] = field(default_factory=dict)
+    solutions: Dict[int, RowSolution] = field(default_factory=dict)
+
+    @property
+    def best(self) -> DesignPoint:
+        """The design point with the lowest total average latency."""
+        return min(self.points.values(), key=lambda p: p.total_latency)
+
+    def latency_curve(self) -> Tuple[Tuple[int, float], ...]:
+        """``(C, total latency)`` pairs sorted by ``C`` (Figure 5 series)."""
+        return tuple(sorted((c, p.total_latency) for c, p in self.points.items()))
+
+
+def solve_row_problem(
+    n: int,
+    link_limit: int,
+    method: str = "dc_sa",
+    objective: Objective | None = None,
+    params: AnnealingParams | None = None,
+    rng=None,
+    max_evaluations: Optional[int] = None,
+) -> RowSolution:
+    """Solve ``P~(n, C)`` with the chosen method."""
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
+    objective = objective or RowObjective()
+    params = params or AnnealingParams()
+    gen = ensure_rng(rng)
+    limit = effective_link_limit(n, link_limit)
+    start = time.perf_counter()
+
+    if method == "exact":
+        exact = exhaustive_matrix_search(n, limit, objective)
+        return RowSolution(
+            n=n,
+            link_limit=link_limit,
+            placement=exact.placement,
+            energy=exact.energy,
+            method=method,
+            evaluations=exact.evaluations,
+            wall_time_s=time.perf_counter() - start,
+            exact=exact,
+        )
+
+    seed: Optional[InitialSolution] = None
+    if method == "dc_sa":
+        seed = initial_solution(n, limit, objective)
+        matrix = ConnectionMatrix.from_placement(seed.placement, limit)
+    else:  # only_sa
+        matrix = ConnectionMatrix.random(n, limit, gen)
+
+    sa = anneal(
+        matrix,
+        objective,
+        params=params,
+        rng=gen,
+        max_evaluations=max_evaluations,
+    )
+    placement, energy = sa.best_placement, sa.best_energy
+    if seed is not None and seed.energy < energy:
+        placement, energy = seed.placement, seed.energy
+    evaluations = sa.evaluations + (seed.evaluations if seed else 0)
+    return RowSolution(
+        n=n,
+        link_limit=link_limit,
+        placement=placement,
+        energy=energy,
+        method=method,
+        evaluations=evaluations,
+        wall_time_s=time.perf_counter() - start,
+        annealing=sa,
+        seed_solution=seed,
+    )
+
+
+def design_point(
+    placement: RowPlacement,
+    link_limit: int,
+    bandwidth: BandwidthConfig | None = None,
+    mix: PacketMix | None = None,
+    cost: HopCostModel | None = None,
+) -> DesignPoint:
+    """Cost a placement at a given link limit into a :class:`DesignPoint`."""
+    bandwidth = bandwidth or BandwidthConfig()
+    mix = mix or PacketMix.paper_default()
+    breakdown = network_average_latency(placement, link_limit, bandwidth, mix, cost)
+    return DesignPoint(
+        n=placement.n,
+        link_limit=link_limit,
+        flit_bits=bandwidth.flit_bits(link_limit),
+        placement=placement,
+        latency=breakdown,
+    )
+
+
+@dataclass(frozen=True)
+class RectDesignPoint:
+    """A costed rectangular design (library extension beyond the paper).
+
+    The 2D -> 1D reduction holds for any ``width x height`` mesh under
+    XY routing; with identical rows and identical columns the average
+    head latency is the row average plus the column average (the square
+    case's ``2x`` is the special case ``width == height``).
+    """
+
+    width: int
+    height: int
+    link_limit: int
+    flit_bits: int
+    row_placement: RowPlacement
+    col_placement: RowPlacement
+    head_latency: float
+    serialization: float
+
+    @property
+    def total_latency(self) -> float:
+        return self.head_latency + self.serialization
+
+
+def optimize_rectangular(
+    width: int,
+    height: int,
+    method: str = "dc_sa",
+    bandwidth: BandwidthConfig | None = None,
+    mix: PacketMix | None = None,
+    cost: HopCostModel | None = None,
+    params: AnnealingParams | None = None,
+    rng=None,
+    link_limits: Optional[Tuple[int, ...]] = None,
+) -> Dict[int, RectDesignPoint]:
+    """Sweep ``C`` on a rectangular mesh; one 1D solve per dimension.
+
+    Returns a map ``C -> RectDesignPoint``; the caller picks the best
+    by ``total_latency`` (see :func:`best_rectangular`).
+    """
+    from repro.core.latency import mean_row_head_latency
+
+    bandwidth = bandwidth or BandwidthConfig()
+    mix = mix or PacketMix.paper_default()
+    cost = cost or HopCostModel()
+    gen = ensure_rng(rng)
+    # Limits beyond the smaller dimension's full connectivity are
+    # clamped inside each solve, so sweeping up to the larger
+    # dimension's C_full covers every distinct design.
+    limits = tuple(link_limits or bandwidth.valid_link_limits(max(width, height)))
+
+    objective = RowObjective(cost=cost)
+    points: Dict[int, RectDesignPoint] = {}
+    for limit in limits:
+        solved: Dict[int, RowPlacement] = {}
+        for dim in {width, height}:
+            if limit == 1 or dim < 3:
+                solved[dim] = RowPlacement.mesh(dim)
+            else:
+                solved[dim] = solve_row_problem(
+                    dim, limit, method=method, objective=objective,
+                    params=params, rng=gen,
+                ).placement
+        row, col = solved[width], solved[height]
+        head = mean_row_head_latency(row, cost) + mean_row_head_latency(col, cost)
+        points[limit] = RectDesignPoint(
+            width=width,
+            height=height,
+            link_limit=limit,
+            flit_bits=bandwidth.flit_bits(limit),
+            row_placement=row,
+            col_placement=col,
+            head_latency=head,
+            serialization=mix.serialization_cycles(bandwidth.flit_bits(limit)),
+        )
+    return points
+
+
+def best_rectangular(points: Dict[int, "RectDesignPoint"]) -> "RectDesignPoint":
+    """The rectangular design point with the lowest total latency."""
+    return min(points.values(), key=lambda p: p.total_latency)
+
+
+def optimize(
+    n: int,
+    method: str = "dc_sa",
+    bandwidth: BandwidthConfig | None = None,
+    mix: PacketMix | None = None,
+    cost: HopCostModel | None = None,
+    params: AnnealingParams | None = None,
+    rng=None,
+    link_limits: Optional[Tuple[int, ...]] = None,
+    max_evaluations: Optional[int] = None,
+) -> SweepResult:
+    """Full optimization: sweep ``C``, solve each ``P~(n, C)``, cost them.
+
+    Returns every design point so callers can plot the Figure 5 curves;
+    ``SweepResult.best`` is the paper's final answer for this network.
+    """
+    bandwidth = bandwidth or BandwidthConfig()
+    mix = mix or PacketMix.paper_default()
+    cost = cost or HopCostModel()
+    gen = ensure_rng(rng)
+    limits = link_limits or bandwidth.valid_link_limits(n)
+    objective = RowObjective(cost=cost)
+
+    result = SweepResult(n=n, method=method)
+    for limit in limits:
+        if limit == 1:
+            solution = RowSolution(
+                n=n,
+                link_limit=1,
+                placement=RowPlacement.mesh(n),
+                energy=objective(RowPlacement.mesh(n)),
+                method=method,
+                evaluations=1,
+                wall_time_s=0.0,
+            )
+        else:
+            solution = solve_row_problem(
+                n,
+                limit,
+                method=method,
+                objective=objective,
+                params=params,
+                rng=gen,
+                max_evaluations=max_evaluations,
+            )
+        result.solutions[limit] = solution
+        result.points[limit] = design_point(
+            solution.placement, limit, bandwidth, mix, cost
+        )
+    return result

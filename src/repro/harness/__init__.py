@@ -1,0 +1,97 @@
+"""Experiment harness: one driver per paper figure/table."""
+
+from repro.harness.tables import fmt, pct_change, render_series, render_table
+from repro.harness.designs import (
+    EFFORTS,
+    SCHEMES,
+    SchemeDesign,
+    dc_sa_design,
+    hfb_design,
+    mesh_design,
+    only_sa_design,
+    optimized_sweep,
+    reference_designs,
+)
+from repro.harness.calibration import (
+    NI_OVERHEAD_CYCLES,
+    SERIALIZATION_OFFSET,
+    Calibration,
+    estimate_contention,
+)
+from repro.harness.fig2 import Fig2Result, fig2
+from repro.harness.fig5 import Fig5Result, fig5, fig5_all, render_summary
+from repro.harness.parsec import CampaignCell, CampaignResult, parsec_campaign
+from repro.harness.runtime import RuntimeCurves, fig7
+from repro.harness.synthetic import Fig8Result, SyntheticCell, fig8
+from repro.harness.power_static import Fig10Result, fig10
+from repro.harness.bandwidth import BandwidthCase, Fig11Result, fig11
+from repro.harness.optimal import (
+    Fig12Result,
+    OptimalComparison,
+    PAPER_INSTANCES,
+    fig12,
+)
+from repro.harness.worstcase import Table2Result, table2
+from repro.harness.appaware import AppAwareResult, AppAwareRow, app_aware
+from repro.harness.area_overhead import AreaOverheadResult, area_overhead
+from repro.harness.experiments import EXPERIMENT_IDS, run_all
+from repro.harness.loadcurve import LoadCurve, LoadPoint, load_latency_curve
+from repro.harness.robustness import RobustnessResult, SeedSpread, seed_robustness
+
+__all__ = [
+    "fmt",
+    "pct_change",
+    "render_series",
+    "render_table",
+    "EFFORTS",
+    "SCHEMES",
+    "SchemeDesign",
+    "dc_sa_design",
+    "hfb_design",
+    "mesh_design",
+    "only_sa_design",
+    "optimized_sweep",
+    "reference_designs",
+    "NI_OVERHEAD_CYCLES",
+    "SERIALIZATION_OFFSET",
+    "Calibration",
+    "estimate_contention",
+    "Fig2Result",
+    "fig2",
+    "Fig5Result",
+    "fig5",
+    "fig5_all",
+    "render_summary",
+    "CampaignCell",
+    "CampaignResult",
+    "parsec_campaign",
+    "RuntimeCurves",
+    "fig7",
+    "Fig8Result",
+    "SyntheticCell",
+    "fig8",
+    "Fig10Result",
+    "fig10",
+    "BandwidthCase",
+    "Fig11Result",
+    "fig11",
+    "Fig12Result",
+    "OptimalComparison",
+    "PAPER_INSTANCES",
+    "fig12",
+    "Table2Result",
+    "table2",
+    "AppAwareResult",
+    "AppAwareRow",
+    "app_aware",
+    "AreaOverheadResult",
+    "area_overhead",
+    "EXPERIMENT_IDS",
+    "run_all",
+    "LoadCurve",
+    "LoadPoint",
+    "load_latency_curve",
+    "RobustnessResult",
+    "SeedSpread",
+    "seed_robustness",
+]

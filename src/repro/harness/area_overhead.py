@@ -1,0 +1,51 @@
+"""Section 4.5.2: routing-table hardware overhead (< 0.5 % of router area)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.harness.designs import SchemeDesign, reference_designs
+from repro.harness.tables import render_table
+from repro.power.area import max_table_overhead
+from repro.sim.config import SimConfig
+
+
+@dataclass
+class AreaOverheadResult:
+    n: int
+    schemes: Tuple[str, ...]
+    overheads: Tuple[float, ...]
+
+    def render(self) -> str:
+        rows = [
+            [s, f"{o * 100:.3f}%"] for s, o in zip(self.schemes, self.overheads)
+        ]
+        table = render_table(
+            f"Routing-table area overhead ({self.n}x{self.n}); paper bound: < 0.5%",
+            ["scheme", "worst router overhead"],
+            rows,
+        )
+        return table
+
+    @property
+    def max_overhead(self) -> float:
+        return max(self.overheads)
+
+
+def area_overhead(
+    n: int = 8,
+    designs: Optional[Sequence[SchemeDesign]] = None,
+    seed: int = 2019,
+    effort: str = "paper",
+) -> AreaOverheadResult:
+    designs = tuple(designs or reference_designs(n, seed=seed, effort=effort))
+    overheads = []
+    for design in designs:
+        config = SimConfig(flit_bits=design.point.flit_bits)
+        overheads.append(max_table_overhead(design.topology, config))
+    return AreaOverheadResult(
+        n=n,
+        schemes=tuple(d.name for d in designs),
+        overheads=tuple(overheads),
+    )

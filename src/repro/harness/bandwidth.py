@@ -1,0 +1,98 @@
+"""Figure 11: impact of the bisection-bandwidth budget (Section 5.6.2).
+
+The 8x8 network at 1 GHz with bisection bandwidth 2 KGb/s vs 8 KGb/s
+(baseline flit 128 vs 512 bits).  The mesh can only spend extra
+bandwidth on wider flits (serialization shrinks slightly); good express
+placement converts it into more, narrower links and much larger latency
+reductions -- the paper's 2.3% vs 17.8% contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.latency import BandwidthConfig
+from repro.harness.designs import hfb_design, mesh_design, optimized_sweep
+from repro.harness.tables import pct_change, render_series
+
+
+@dataclass
+class BandwidthCase:
+    """One panel: latency-vs-C curves at a fixed bisection budget."""
+
+    base_flit_bits: int
+    limits: Tuple[int, ...]
+    dc_sa_total: List[float]
+    mesh_total: float
+    hfb_total: float
+    hfb_limit: int
+
+    @property
+    def best_dc_sa(self) -> float:
+        return min(self.dc_sa_total)
+
+
+@dataclass
+class Fig11Result:
+    n: int
+    cases: Dict[int, BandwidthCase]
+
+    def mesh_gain(self) -> float:
+        """Mesh latency reduction from the bandwidth increase (percent)."""
+        flits = sorted(self.cases)
+        return pct_change(self.cases[flits[-1]].mesh_total, self.cases[flits[0]].mesh_total)
+
+    def dc_sa_gain(self) -> float:
+        """D&C_SA latency reduction from the bandwidth increase (percent)."""
+        flits = sorted(self.cases)
+        return pct_change(self.cases[flits[-1]].best_dc_sa, self.cases[flits[0]].best_dc_sa)
+
+    def render(self) -> str:
+        blocks = []
+        for base, case in sorted(self.cases.items()):
+            gbps = 2 * base * self.n  # bits/cycle across the bisection, = Gb/s at 1 GHz
+            blocks.append(
+                render_series(
+                    f"Figure 11 ({self.n}x{self.n}): bisection {gbps / 1000:.0f} KGb/s "
+                    f"(base flit {base}b)",
+                    "C",
+                    list(case.limits),
+                    {
+                        "D&C_SA": case.dc_sa_total,
+                        "Mesh(C=1)": [case.mesh_total if c == 1 else None for c in case.limits],
+                        f"HFB(C={case.hfb_limit})": [
+                            case.hfb_total if c == case.hfb_limit else None
+                            for c in case.limits
+                        ],
+                    },
+                )
+            )
+        summary = (
+            f"bandwidth x4: Mesh improves {self.mesh_gain():.1f}%, "
+            f"D&C_SA improves {self.dc_sa_gain():.1f}%"
+        )
+        return "\n".join(blocks) + "\n" + summary
+
+
+def fig11(
+    n: int = 8,
+    base_flit_cases: Tuple[int, ...] = (128, 512),
+    seed: int = 2019,
+    effort: str = "paper",
+) -> Fig11Result:
+    cases = {}
+    for base in base_flit_cases:
+        bw = BandwidthConfig(base_flit_bits=base)
+        sweep = optimized_sweep(n, "dc_sa", seed, effort, base)
+        limits = tuple(sorted(sweep.points))
+        hfb = hfb_design(n, bw)
+        cases[base] = BandwidthCase(
+            base_flit_bits=base,
+            limits=limits,
+            dc_sa_total=[sweep.points[c].total_latency for c in limits],
+            mesh_total=mesh_design(n, bw).point.total_latency,
+            hfb_total=hfb.point.total_latency,
+            hfb_limit=hfb.point.link_limit,
+        )
+    return Fig11Result(n=n, cases=cases)

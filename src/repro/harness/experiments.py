@@ -1,0 +1,138 @@
+"""One-call regeneration of every paper experiment.
+
+``run_all`` executes each figure/table driver at the requested effort
+and returns the rendered tables keyed by experiment id -- the
+programmatic equivalent of running the whole ``benchmarks/`` suite.
+Heavy experiments accept reduced scope via ``quick=True`` (the same
+scaling the benchmark suite uses under ``REPRO_BENCH_EFFORT=quick``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.harness.appaware import app_aware
+from repro.harness.area_overhead import area_overhead
+from repro.harness.bandwidth import fig11
+from repro.harness.fig2 import fig2
+from repro.harness.fig5 import fig5_all, render_summary
+from repro.harness.optimal import PAPER_INSTANCES, fig12
+from repro.harness.parsec import parsec_campaign
+from repro.harness.power_static import fig10
+from repro.harness.runtime import fig7
+from repro.harness.synthetic import fig8
+from repro.harness.worstcase import table2
+from repro.traffic.parsec import PARSEC_NAMES
+
+#: Experiment ids in paper order.
+EXPERIMENT_IDS = (
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "sec564",
+    "area",
+)
+
+
+def run_all(
+    seed: int = 2019,
+    quick: bool = True,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, str]:
+    """Run the selected experiments and return rendered tables.
+
+    ``quick=True`` (default) scales simulation windows and annealing
+    budgets down for interactive use; ``quick=False`` reproduces the
+    benchmark suite's paper-effort configuration.
+    """
+    effort = "quick" if quick else "paper"
+    wanted = set(only or EXPERIMENT_IDS)
+    unknown = wanted - set(EXPERIMENT_IDS)
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
+    out: Dict[str, str] = {}
+
+    def note(name: str) -> None:
+        if progress is not None:
+            progress(name)
+
+    if "fig2" in wanted:
+        note("fig2")
+        out["fig2"] = fig2().render()
+    if "fig5" in wanted:
+        note("fig5")
+        sizes = (4, 8) if quick else (4, 8, 16)
+        panels = fig5_all(sizes=sizes, seed=seed, effort=effort)
+        out["fig5"] = (
+            "\n\n".join(p.render() for p in panels.values())
+            + "\n\n"
+            + render_summary(panels)
+        )
+    campaign = None
+    if wanted & {"fig6", "fig9"}:
+        note("parsec campaign")
+        campaign = parsec_campaign(
+            n=8,
+            benchmarks=PARSEC_NAMES[:4] if quick else PARSEC_NAMES,
+            seed=seed,
+            effort=effort,
+            warmup_cycles=300 if quick else 500,
+            measure_cycles=1_000 if quick else 2_000,
+        )
+    if "fig6" in wanted and campaign is not None:
+        out["fig6"] = campaign.render_fig6()
+    if "fig9" in wanted and campaign is not None:
+        out["fig9"] = campaign.render_fig9()
+    if "fig7" in wanted:
+        note("fig7")
+        budgets = (1, 10, 100) if quick else (1, 3, 10, 30, 100, 300, 1_000)
+        out["fig7"] = fig7(8, link_limit=4, budgets=budgets, seed=seed).render()
+    if "fig8" in wanted:
+        note("fig8")
+        out["fig8"] = fig8(
+            n=8,
+            patterns=("uniform_random",) if quick else ("uniform_random", "transpose", "bit_reverse"),
+            seed=seed,
+            effort=effort,
+            warmup=300,
+            measure=800 if quick else 1_200,
+        ).render()
+    if "fig10" in wanted:
+        note("fig10")
+        out["fig10"] = fig10(8, seed=seed, effort=effort).render()
+    if "fig11" in wanted:
+        note("fig11")
+        out["fig11"] = fig11(n=8, seed=seed, effort=effort).render()
+    if "fig12" in wanted:
+        note("fig12")
+        instances = ((4, 2), (8, 2), (8, 3)) if quick else PAPER_INSTANCES
+        out["fig12"] = fig12(instances=instances, seed=seed).render()
+    if "table2" in wanted:
+        note("table2")
+        sizes = (4, 8) if quick else (4, 8, 16)
+        out["table2"] = table2(sizes=sizes, seed=seed, effort=effort).render()
+    if "sec564" in wanted:
+        note("sec564")
+        from repro.core.annealing import AnnealingParams
+
+        out["sec564"] = app_aware(
+            n=8,
+            benchmarks=PARSEC_NAMES[:2] if quick else PARSEC_NAMES,
+            seed=seed,
+            effort=effort,
+            params=AnnealingParams(total_moves=1_000, moves_per_cooldown=250)
+            if quick
+            else None,
+        ).render()
+    if "area" in wanted:
+        note("area")
+        out["area"] = area_overhead(8, seed=seed, effort=effort).render()
+    return out

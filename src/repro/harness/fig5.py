@@ -1,0 +1,133 @@
+"""Figure 5: average packet latency as a function of link limit C.
+
+For each network size the experiment sweeps every feasible ``C``,
+solves ``P~(n, C)`` with both D&C_SA and OnlySA, and reports the total
+average latency curve together with its head (``L_D``) and
+serialization (``L_S``) components; Mesh and HFB appear as the fixed
+design points they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.latency import BandwidthConfig
+from repro.harness.designs import hfb_design, mesh_design, optimized_sweep
+from repro.harness.tables import pct_change, render_series, render_table
+
+
+@dataclass
+class Fig5Result:
+    """One panel of Figure 5 (one network size)."""
+
+    n: int
+    limits: Tuple[int, ...]
+    dc_sa_total: List[float]
+    dc_sa_head: List[float]
+    dc_sa_serialization: List[float]
+    only_sa_total: List[float]
+    mesh_total: float
+    hfb_total: float
+    hfb_limit: int
+
+    @property
+    def best_dc_sa(self) -> float:
+        return min(self.dc_sa_total)
+
+    @property
+    def best_limit(self) -> int:
+        return self.limits[self.dc_sa_total.index(self.best_dc_sa)]
+
+    def reduction_vs_mesh(self) -> float:
+        return pct_change(self.best_dc_sa, self.mesh_total)
+
+    def reduction_vs_hfb(self) -> float:
+        return pct_change(self.best_dc_sa, self.hfb_total)
+
+    def only_sa_gap(self) -> float:
+        """How much worse OnlySA's best point is than D&C_SA's (percent)."""
+        return -pct_change(min(self.only_sa_total), self.best_dc_sa)
+
+    def render(self) -> str:
+        series = {
+            "D&C_SA": self.dc_sa_total,
+            "OnlySA": self.only_sa_total,
+            "L_D": self.dc_sa_head,
+            "L_S": self.dc_sa_serialization,
+            "Mesh(C=1)": [self.mesh_total if c == 1 else None for c in self.limits],
+            f"HFB(C={self.hfb_limit})": [
+                self.hfb_total if c == self.hfb_limit else None for c in self.limits
+            ],
+        }
+        body = render_series(
+            f"Figure 5 ({self.n}x{self.n}): avg packet latency vs link limit C",
+            "C",
+            list(self.limits),
+            series,
+        )
+        summary = (
+            f"best D&C_SA: {self.best_dc_sa:.2f} cycles at C={self.best_limit} | "
+            f"vs Mesh: -{self.reduction_vs_mesh():.1f}% | "
+            f"vs HFB: -{self.reduction_vs_hfb():.1f}% | "
+            f"OnlySA best is +{self.only_sa_gap():.1f}% above D&C_SA"
+        )
+        return body + "\n" + summary
+
+
+def fig5(
+    n: int,
+    seed: int = 2019,
+    effort: str = "paper",
+    base_flit_bits: int = 256,
+) -> Fig5Result:
+    """Compute one Figure 5 panel."""
+    bw = BandwidthConfig(base_flit_bits=base_flit_bits)
+    dc = optimized_sweep(n, "dc_sa", seed, effort, base_flit_bits)
+    only = optimized_sweep(n, "only_sa", seed, effort, base_flit_bits)
+    limits = tuple(sorted(dc.points))
+    mesh = mesh_design(n, bw)
+    hfb = hfb_design(n, bw)
+    return Fig5Result(
+        n=n,
+        limits=limits,
+        dc_sa_total=[dc.points[c].total_latency for c in limits],
+        dc_sa_head=[dc.points[c].latency.head for c in limits],
+        dc_sa_serialization=[dc.points[c].latency.serialization for c in limits],
+        only_sa_total=[only.points[c].total_latency for c in limits],
+        mesh_total=mesh.point.total_latency,
+        hfb_total=hfb.point.total_latency,
+        hfb_limit=hfb.point.link_limit,
+    )
+
+
+def fig5_all(
+    sizes: Tuple[int, ...] = (4, 8, 16),
+    seed: int = 2019,
+    effort: str = "paper",
+) -> Dict[int, Fig5Result]:
+    """All three panels (4x4, 8x8, 16x16)."""
+    return {n: fig5(n, seed, effort) for n in sizes}
+
+
+def render_summary(results: Dict[int, Fig5Result]) -> str:
+    """The paper's headline reductions, side by side."""
+    rows = []
+    for n, r in sorted(results.items()):
+        rows.append(
+            (
+                f"{n}x{n}",
+                r.best_limit,
+                r.best_dc_sa,
+                r.mesh_total,
+                r.hfb_total,
+                f"-{r.reduction_vs_mesh():.1f}%",
+                f"-{r.reduction_vs_hfb():.1f}%",
+                f"+{r.only_sa_gap():.1f}%",
+            )
+        )
+    return render_table(
+        "Figure 5 summary: D&C_SA vs Mesh / HFB / OnlySA",
+        ["network", "best C", "D&C_SA", "Mesh", "HFB", "vs Mesh", "vs HFB", "OnlySA gap"],
+        rows,
+    )

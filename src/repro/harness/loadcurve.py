@@ -1,0 +1,125 @@
+"""Load-latency curves: the standard NoC characterization sweep.
+
+Sweeps offered load for one design and traffic pattern, recording
+accepted throughput and average latency at each point -- the raw data
+behind Figure 8 and behind any saturation claim.  Exposed as a library
+API so users can characterize their own placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.harness.designs import SchemeDesign
+from repro.harness.tables import render_table
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a load-latency curve."""
+
+    offered_packets_per_cycle: float
+    accepted_packets_per_cycle: float
+    avg_latency: float
+    drained: bool
+
+    @property
+    def saturated(self) -> bool:
+        return not self.drained
+
+
+@dataclass
+class LoadCurve:
+    """A full sweep for one (design, pattern) pair."""
+
+    scheme: str
+    pattern: str
+    n: int
+    points: Tuple[LoadPoint, ...]
+
+    @property
+    def zero_load_latency(self) -> float:
+        return self.points[0].avg_latency
+
+    def saturation_throughput(self, latency_factor: float = 3.0) -> float:
+        """Largest accepted throughput before latency blows up."""
+        best = 0.0
+        for p in self.points:
+            if p.saturated or p.avg_latency > latency_factor * self.zero_load_latency:
+                break
+            best = max(best, p.accepted_packets_per_cycle)
+        return best
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.offered_packets_per_cycle,
+                p.accepted_packets_per_cycle,
+                p.avg_latency,
+                "saturated" if p.saturated else "",
+            ]
+            for p in self.points
+        ]
+        return render_table(
+            f"Load-latency curve: {self.scheme}, {self.pattern} ({self.n}x{self.n})",
+            ["offered (pkt/cyc)", "accepted", "latency", ""],
+            rows,
+            digits=3,
+        )
+
+
+def load_latency_curve(
+    design: SchemeDesign,
+    pattern: str = "uniform_random",
+    rates: Optional[Sequence[float]] = None,
+    seed: int = 2019,
+    warmup: int = 300,
+    measure: int = 1_000,
+    stop_after_saturation: bool = True,
+    latency_factor: float = 3.0,
+) -> LoadCurve:
+    """Sweep offered load (aggregate packets/cycle) for one design."""
+    n = design.point.n
+    if rates is None:
+        rates = [0.5 * (1.5 ** k) for k in range(10)]
+    points = []
+    zero_load = None
+    for rate in rates:
+        per_node = rate / (n * n)
+        if per_node > 1.0:
+            break
+        cfg = SimConfig(
+            flit_bits=design.point.flit_bits,
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            max_cycles=warmup + measure + 6_000,
+            seed=seed,
+        )
+        traffic = SyntheticTraffic(make_pattern(pattern, n), rate=per_node, rng=seed)
+        result = Simulator(design.topology, cfg, traffic).run()
+        s = result.summary
+        latency = s.avg_network_latency if s.packets else float("inf")
+        point = LoadPoint(
+            offered_packets_per_cycle=rate,
+            accepted_packets_per_cycle=s.throughput_packets_per_cycle,
+            avg_latency=latency,
+            drained=result.drained,
+        )
+        points.append(point)
+        if zero_load is None:
+            zero_load = latency
+        if stop_after_saturation and (
+            point.saturated or latency > latency_factor * zero_load
+        ):
+            break
+    return LoadCurve(
+        scheme=design.name,
+        pattern=pattern,
+        n=n,
+        points=tuple(points),
+    )

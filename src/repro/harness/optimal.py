@@ -1,0 +1,114 @@
+"""Figure 12: D&C_SA vs exhaustive-optimal latency and runtime ratio.
+
+For the small instances where exhaustive search (with pruning) is
+feasible -- P(4,2), P(8,2), P(8,3), P(8,4), P(16,2) -- compare the
+latency of the D&C_SA placement against the true optimum and report
+how many times longer the exact search runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.annealing import AnnealingParams
+from repro.core.branch_bound import exhaustive_matrix_search
+from repro.core.latency import RowObjective
+from repro.core.optimizer import solve_row_problem
+from repro.harness.tables import render_table
+
+#: The paper's Figure 12 instances as (n, C) pairs.
+PAPER_INSTANCES: Tuple[Tuple[int, int], ...] = ((4, 2), (8, 2), (8, 3), (8, 4), (16, 2))
+
+
+@dataclass
+class OptimalComparison:
+    n: int
+    link_limit: int
+    optimal_energy: float
+    dc_sa_energy: float
+    optimal_evaluations: int
+    dc_sa_evaluations: int
+    optimal_time_s: float
+    dc_sa_time_s: float
+
+    @property
+    def gap_percent(self) -> float:
+        """D&C_SA's excess latency over the optimum (percent)."""
+        if self.optimal_energy == 0:
+            return 0.0
+        return 100.0 * (self.dc_sa_energy - self.optimal_energy) / self.optimal_energy
+
+    @property
+    def runtime_ratio(self) -> float:
+        """Exhaustive states visited / D&C_SA evaluations to solution.
+
+        ``dc_sa_evaluations`` counts the work until D&C_SA *first
+        reached* the solution it returned (seed cost + annealing trace),
+        the honest time-to-solution comparison the paper's 30x / 1000x
+        ratios express.
+        """
+        return self.optimal_evaluations / max(self.dc_sa_evaluations, 1)
+
+
+@dataclass
+class Fig12Result:
+    comparisons: Tuple[OptimalComparison, ...]
+
+    def render(self) -> str:
+        rows = []
+        for c in self.comparisons:
+            rows.append(
+                [
+                    f"P({c.n},{c.link_limit})",
+                    2 * c.optimal_energy,  # 2D head latency, the figure's y axis
+                    2 * c.dc_sa_energy,
+                    f"+{c.gap_percent:.2f}%",
+                    f"{c.runtime_ratio:.0f}x",
+                ]
+            )
+        return render_table(
+            "Figure 12: D&C_SA vs exhaustive optimal",
+            ["instance", "optimal L_D", "D&C_SA L_D", "gap", "exhaustive runtime"],
+            rows,
+        )
+
+
+def fig12(
+    instances: Sequence[Tuple[int, int]] = PAPER_INSTANCES,
+    seed: int = 2019,
+    params: AnnealingParams | None = None,
+) -> Fig12Result:
+    objective = RowObjective()
+    out = []
+    for n, limit in instances:
+        exact = exhaustive_matrix_search(n, limit, objective)
+        dc = solve_row_problem(
+            n, limit, method="dc_sa", objective=objective, params=params, rng=seed
+        )
+        out.append(
+            OptimalComparison(
+                n=n,
+                link_limit=limit,
+                optimal_energy=exact.energy,
+                dc_sa_energy=dc.energy,
+                optimal_evaluations=exact.states_visited,
+                dc_sa_evaluations=_evaluations_to_solution(dc),
+                optimal_time_s=exact.wall_time_s,
+                dc_sa_time_s=dc.wall_time_s,
+            )
+        )
+    return Fig12Result(comparisons=tuple(out))
+
+
+def _evaluations_to_solution(solution) -> int:
+    """Evaluations D&C_SA spent until it first reached its final answer."""
+    seed_cost = solution.seed_solution.evaluations if solution.seed_solution else 0
+    if solution.annealing is None:
+        return max(seed_cost, 1)
+    target = solution.energy + 1e-12
+    first = min(
+        (evals for evals, energy in solution.annealing.trace if energy <= target),
+        default=solution.annealing.evaluations,
+    )
+    return seed_cost + first

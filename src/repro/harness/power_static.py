@@ -1,0 +1,61 @@
+"""Figure 10: router static power breakdown (buffer / crossbar / other).
+
+Static power needs no simulation -- it depends only on topology radix,
+flit width and the equal-buffer rule -- so this experiment is purely
+analytical and fast.  The paper's claims to reproduce: buffer static
+power is nearly identical across schemes (equal total buffer bits) and
+crossbar static power does *not* grow when express links are added,
+because the width shrinks by ``C`` while ports grow sub-linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.harness.designs import SchemeDesign, reference_designs
+from repro.harness.tables import render_table
+from repro.power.model import RouterStaticBreakdown, router_static_power
+from repro.power.params import TechParams
+from repro.sim.config import SimConfig
+
+
+@dataclass
+class Fig10Result:
+    n: int
+    schemes: Tuple[str, ...]
+    breakdowns: Tuple[RouterStaticBreakdown, ...]
+    avg_ports: Tuple[float, ...]
+
+    def render(self) -> str:
+        rows = []
+        for name, b, ports in zip(self.schemes, self.breakdowns, self.avg_ports):
+            rows.append([name, b.buffer_w, b.crossbar_w, b.other_w, b.total_w, ports])
+        return render_table(
+            f"Figure 10 ({self.n}x{self.n}): router static power breakdown (W)",
+            ["scheme", "buffer", "crossbar", "others", "total", "avg ports"],
+            rows,
+            digits=3,
+        )
+
+
+def fig10(
+    n: int = 8,
+    designs: Optional[Sequence[SchemeDesign]] = None,
+    seed: int = 2019,
+    effort: str = "paper",
+    tech: TechParams | None = None,
+) -> Fig10Result:
+    designs = tuple(designs or reference_designs(n, seed=seed, effort=effort))
+    breakdowns, ports = [], []
+    for design in designs:
+        topo = design.topology
+        config = SimConfig(flit_bits=design.point.flit_bits)
+        breakdowns.append(router_static_power(topo, config, tech))
+        ports.append(topo.average_radix() + 1)
+    return Fig10Result(
+        n=n,
+        schemes=tuple(d.name for d in designs),
+        breakdowns=tuple(breakdowns),
+        avg_ports=tuple(ports),
+    )

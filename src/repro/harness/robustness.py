@@ -1,0 +1,108 @@
+"""Seed robustness of the stochastic optimizer.
+
+Simulated annealing is randomized; the paper reduces randomness by
+averaging results (Section 5.3).  This harness quantifies the spread
+directly: run D&C_SA (and optionally OnlySA) across many seeds and
+report the distribution of achieved energies, plus the gap of the
+worst seed to the best-known value.  A well-behaved optimizer has a
+tiny spread -- which is what makes single-seed paper experiments
+reproducible at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.annealing import AnnealingParams
+from repro.core.latency import RowObjective
+from repro.core.optimizer import solve_row_problem
+from repro.harness.tables import render_table
+
+
+@dataclass(frozen=True)
+class SeedSpread:
+    """Distribution of energies for one (method, n, C) cell."""
+
+    method: str
+    n: int
+    link_limit: int
+    energies: Tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.energies)
+
+    @property
+    def worst(self) -> float:
+        return max(self.energies)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.energies) / len(self.energies)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return math.sqrt(sum((e - mu) ** 2 for e in self.energies) / len(self.energies))
+
+    @property
+    def worst_gap_percent(self) -> float:
+        """Worst seed's excess over the best seed (percent)."""
+        return 100.0 * (self.worst - self.best) / self.best
+
+
+@dataclass
+class RobustnessResult:
+    n: int
+    link_limit: int
+    seeds: Tuple[int, ...]
+    spreads: Dict[str, SeedSpread]
+
+    def render(self) -> str:
+        rows = []
+        for method, s in self.spreads.items():
+            rows.append(
+                [
+                    method,
+                    s.best,
+                    s.mean,
+                    s.worst,
+                    s.std,
+                    f"+{s.worst_gap_percent:.2f}%",
+                ]
+            )
+        return render_table(
+            f"Seed robustness P~({self.n},{self.link_limit}) over {len(self.seeds)} seeds "
+            "(mean row head latency)",
+            ["method", "best", "mean", "worst", "std", "worst gap"],
+            rows,
+            digits=4,
+        )
+
+
+def seed_robustness(
+    n: int,
+    link_limit: int,
+    seeds: Sequence[int] = tuple(range(10)),
+    methods: Sequence[str] = ("dc_sa", "only_sa"),
+    params: Optional[AnnealingParams] = None,
+) -> RobustnessResult:
+    """Measure the energy spread across seeds for each method."""
+    objective = RowObjective()
+    spreads: Dict[str, SeedSpread] = {}
+    for method in methods:
+        energies = tuple(
+            solve_row_problem(
+                n, link_limit, method=method, objective=objective,
+                params=params, rng=seed,
+            ).energy
+            for seed in seeds
+        )
+        spreads[method] = SeedSpread(
+            method=method, n=n, link_limit=link_limit, energies=energies
+        )
+    return RobustnessResult(
+        n=n, link_limit=link_limit, seeds=tuple(seeds), spreads=spreads
+    )

@@ -1,0 +1,60 @@
+"""ASCII rendering for experiment results.
+
+Every benchmark regenerates its paper table/figure as text: a title,
+column headers, and rows -- the same rows/series the paper reports, so
+paper-vs-measured comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def fmt(value, digits: int = 2) -> str:
+    """Format one cell: floats with fixed digits, everything else str()."""
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 2,
+) -> str:
+    """Render a boxed monospace table."""
+    str_rows: List[List[str]] = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [f"== {title} ==", sep, line(list(headers)), sep]
+    out.extend(line(r) for r in str_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_series(title: str, x_label: str, xs: Sequence, series: dict, digits: int = 2) -> str:
+    """Render named y-series against a shared x axis (figure curves)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            ys = series[name]
+            row.append(ys[i] if i < len(ys) and ys[i] is not None else "-")
+        rows.append(row)
+    return render_table(title, headers, rows, digits)
+
+
+def pct_change(new: float, base: float) -> float:
+    """Percentage reduction of ``new`` relative to ``base`` (positive = better)."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - new) / base

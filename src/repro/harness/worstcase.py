@@ -1,0 +1,50 @@
+"""Table 2: maximum zero-load packet latency (Section 5.6.1).
+
+The worst source-destination pair, at zero load, including the
+serialization of the longest packet type.  Purely analytical (zero
+load), so it covers all three network sizes cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.latency import network_worst_case_latency
+from repro.harness.designs import reference_designs
+from repro.harness.tables import render_table
+
+
+@dataclass
+class Table2Result:
+    sizes: Tuple[int, ...]
+    schemes: Tuple[str, ...]
+    values: Dict[Tuple[str, int], float]
+
+    def render(self) -> str:
+        rows = []
+        for scheme in self.schemes:
+            rows.append([scheme, *(self.values[(scheme, n)] for n in self.sizes)])
+        return render_table(
+            "Table 2: maximum zero-load packet latency (cycles)",
+            ["topology", *(f"{n}x{n}" for n in self.sizes)],
+            rows,
+            digits=1,
+        )
+
+
+def table2(
+    sizes: Sequence[int] = (4, 8, 16),
+    seed: int = 2019,
+    effort: str = "paper",
+) -> Table2Result:
+    values: Dict[Tuple[str, int], float] = {}
+    schemes: Tuple[str, ...] = ()
+    for n in sizes:
+        designs = reference_designs(n, seed=seed, effort=effort)
+        schemes = tuple(d.name for d in designs)
+        for design in designs:
+            values[(design.name, n)] = network_worst_case_latency(
+                design.point.placement, design.point.link_limit
+            )
+    return Table2Result(sizes=tuple(sizes), schemes=schemes, values=values)

@@ -1,0 +1,148 @@
+"""JSON persistence for placements, design points, and sweep results.
+
+Optimization runs are the expensive artifact of this library; these
+helpers let users save a solved design and reload it later (or ship it
+to a collaborator) without re-running the annealer.  The format is
+plain JSON with a schema version, stable across releases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.latency import LatencyBreakdown
+from repro.core.optimizer import DesignPoint, SweepResult
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Row placements
+# ----------------------------------------------------------------------
+
+def placement_to_dict(placement: RowPlacement) -> Dict:
+    """JSON-ready representation of a row placement."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "row_placement",
+        "n": placement.n,
+        "express_links": sorted(list(link) for link in placement.express_links),
+    }
+
+
+def placement_from_dict(data: Dict) -> RowPlacement:
+    """Inverse of :func:`placement_to_dict` (validates structure)."""
+    if data.get("kind") != "row_placement":
+        raise ConfigurationError(f"not a row placement: kind={data.get('kind')!r}")
+    return RowPlacement(
+        int(data["n"]),
+        frozenset(tuple(link) for link in data["express_links"]),
+    )
+
+
+def save_placement(placement: RowPlacement, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(placement_to_dict(placement), indent=2))
+
+
+def load_placement(path: PathLike) -> RowPlacement:
+    return placement_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Design points and sweeps
+# ----------------------------------------------------------------------
+
+def design_point_to_dict(point: DesignPoint) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "design_point",
+        "n": point.n,
+        "link_limit": point.link_limit,
+        "flit_bits": point.flit_bits,
+        "placement": placement_to_dict(point.placement),
+        "head_latency": point.latency.head,
+        "serialization_latency": point.latency.serialization,
+    }
+
+
+def design_point_from_dict(data: Dict) -> DesignPoint:
+    if data.get("kind") != "design_point":
+        raise ConfigurationError(f"not a design point: kind={data.get('kind')!r}")
+    return DesignPoint(
+        n=int(data["n"]),
+        link_limit=int(data["link_limit"]),
+        flit_bits=int(data["flit_bits"]),
+        placement=placement_from_dict(data["placement"]),
+        latency=LatencyBreakdown(
+            head=float(data["head_latency"]),
+            serialization=float(data["serialization_latency"]),
+        ),
+    )
+
+
+def sweep_to_dict(sweep: SweepResult) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "sweep_result",
+        "n": sweep.n,
+        "method": sweep.method,
+        "points": {str(c): design_point_to_dict(p) for c, p in sweep.points.items()},
+    }
+
+
+def sweep_from_dict(data: Dict) -> SweepResult:
+    if data.get("kind") != "sweep_result":
+        raise ConfigurationError(f"not a sweep result: kind={data.get('kind')!r}")
+    sweep = SweepResult(n=int(data["n"]), method=str(data["method"]))
+    for c, point in data["points"].items():
+        sweep.points[int(c)] = design_point_from_dict(point)
+    return sweep
+
+
+def save_sweep(sweep: SweepResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(sweep_to_dict(sweep), indent=2))
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+
+def topology_to_dict(topology: MeshTopology) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "mesh_topology",
+        "width": topology.n,
+        "height": topology.height,
+        "rows": [placement_to_dict(p) for p in topology.row_placements],
+        "cols": [placement_to_dict(p) for p in topology.col_placements],
+    }
+
+
+def topology_from_dict(data: Dict) -> MeshTopology:
+    if data.get("kind") != "mesh_topology":
+        raise ConfigurationError(f"not a topology: kind={data.get('kind')!r}")
+    return MeshTopology(
+        n=int(data["width"]),
+        row_placements=tuple(placement_from_dict(p) for p in data["rows"]),
+        col_placements=tuple(placement_from_dict(p) for p in data["cols"]),
+        height=int(data["height"]),
+    )
+
+
+def save_topology(topology: MeshTopology, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(topology_to_dict(topology), indent=2))
+
+
+def load_topology(path: PathLike) -> MeshTopology:
+    return topology_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,25 @@
+"""Power and area models (the DSENT substitute)."""
+
+from repro.power.params import TechParams
+from repro.power.model import (
+    PowerReport,
+    RouterStaticBreakdown,
+    dynamic_power,
+    power_report,
+    router_static_power,
+    routing_table_bits,
+)
+from repro.power.area import AreaBreakdown, max_table_overhead, router_area
+
+__all__ = [
+    "TechParams",
+    "PowerReport",
+    "RouterStaticBreakdown",
+    "dynamic_power",
+    "power_report",
+    "router_static_power",
+    "routing_table_bits",
+    "AreaBreakdown",
+    "max_table_overhead",
+    "router_area",
+]

@@ -1,0 +1,67 @@
+"""Router area model and the routing-table overhead check (Sec. 4.5.2).
+
+The paper reports, via DSENT's 32 nm area model, that the per-router
+routing tables cost less than 0.5 % of router area.  This module
+reproduces that estimate: router area is buffers + crossbar + control,
+and the table is a tiny SRAM of ``2 (n - 1)`` byte-wide entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.params import TechParams
+from repro.power.model import routing_table_bits
+from repro.sim.config import SimConfig
+from repro.topology.mesh import MeshTopology
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-router area split in um^2."""
+
+    buffer_um2: float
+    crossbar_um2: float
+    control_um2: float
+    table_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return self.buffer_um2 + self.crossbar_um2 + self.control_um2 + self.table_um2
+
+    @property
+    def table_fraction(self) -> float:
+        """Routing-table share of router area (the paper's < 0.5 %)."""
+        return self.table_um2 / self.total_um2
+
+
+def router_area(
+    topology: MeshTopology,
+    node: int,
+    config: SimConfig,
+    tech: TechParams | None = None,
+) -> AreaBreakdown:
+    """Area of one router, including its routing tables."""
+    tech = tech or TechParams()
+    radix = topology.radix(node)
+    ports = radix + 1
+    depth = config.vc_depth_for_radix(radix)
+    buffer_bits = ports * config.vcs_per_port * depth * config.flit_bits
+    return AreaBreakdown(
+        buffer_um2=tech.buffer_area_per_bit * buffer_bits,
+        crossbar_um2=tech.crossbar_area_coeff * config.flit_bits * ports * ports,
+        control_um2=tech.control_area_fixed,
+        table_um2=tech.table_area_per_bit * routing_table_bits(topology.n, topology.height),
+    )
+
+
+def max_table_overhead(
+    topology: MeshTopology,
+    config: SimConfig,
+    tech: TechParams | None = None,
+) -> float:
+    """Worst routing-table area fraction over all routers."""
+    return max(
+        router_area(topology, v, config, tech).table_fraction
+        for v in range(topology.num_nodes)
+    )

@@ -1,0 +1,151 @@
+"""Router and link power model (Sections 4.6 and 5.5).
+
+Static power per router:
+
+* **buffers** -- proportional to total buffer bits.  The evaluation
+  normalizes total buffer bits across schemes (equal-buffer rule), so
+  this component is nearly identical for Mesh, HFB and D&C_SA.
+* **crossbar** -- proportional to ``b * k^2`` with ``b`` the datapath
+  (flit) width and ``k`` the number of input ports.  Express schemes
+  raise ``k`` but shrink ``b`` by the same factor ``C``, and good
+  placements keep ``k`` well below ``C * k_mesh`` (sub-linear port
+  growth, Section 4.6), so crossbar static power stays flat.
+* **others** -- allocator/control logic plus the routing table.
+
+Dynamic power integrates per-event energies (buffer write/read,
+crossbar traversal, per-unit link traversal) over the activity
+counters the simulator collects; fewer hops per packet means
+proportionally fewer router events, which is where the express
+topologies save power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.power.params import TechParams
+from repro.sim.config import SimConfig
+from repro.topology.mesh import MeshTopology
+
+
+@dataclass(frozen=True)
+class RouterStaticBreakdown:
+    """Per-network static power split (Figure 10's bars)."""
+
+    buffer_w: float
+    crossbar_w: float
+    other_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.buffer_w + self.crossbar_w + self.other_w
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Static + dynamic network power for one simulated run (Figure 9)."""
+
+    static: RouterStaticBreakdown
+    dynamic_w: float
+    dynamic_breakdown: Dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return self.static.total_w + self.dynamic_w
+
+
+def router_static_power(
+    topology: MeshTopology,
+    config: SimConfig,
+    tech: TechParams | None = None,
+) -> RouterStaticBreakdown:
+    """Aggregate static power of all routers in the network."""
+    tech = tech or TechParams()
+    buffer_w = crossbar_w = other_w = 0.0
+    table_bits_per_router = routing_table_bits(topology.n, topology.height)
+    for node in range(topology.num_nodes):
+        radix = topology.radix(node)
+        ports = radix + 1  # + local injection port
+        depth = config.vc_depth_for_radix(radix)
+        buffer_bits = ports * config.vcs_per_port * depth * config.flit_bits
+        buffer_w += tech.buffer_static_per_bit * buffer_bits
+        crossbar_w += tech.crossbar_static_coeff * config.flit_bits * ports * ports
+        other_w += (
+            tech.control_static_fixed
+            + tech.control_static_per_port * ports
+            + tech.table_static_per_bit * table_bits_per_router
+        )
+    return RouterStaticBreakdown(buffer_w=buffer_w, crossbar_w=crossbar_w, other_w=other_w)
+
+
+def dynamic_power(
+    activity: Dict[str, int],
+    cycles: int,
+    flit_bits: int,
+    tech: TechParams | None = None,
+) -> Dict[str, float]:
+    """Dynamic power components from simulator activity counters.
+
+    ``activity`` uses the keys produced by
+    :meth:`repro.sim.network.Network.activity_counters`; ``cycles`` is
+    the simulated span the counters were accumulated over.
+    """
+    tech = tech or TechParams()
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    # Power = (events / cycles) * frequency * (energy per event).
+    rate = tech.frequency_hz / cycles
+    return {
+        "buffer_write_w": activity["buffer_writes"]
+        * tech.buffer_write_energy_per_bit
+        * flit_bits
+        * rate,
+        "buffer_read_w": activity["buffer_reads"]
+        * tech.buffer_read_energy_per_bit
+        * flit_bits
+        * rate,
+        "crossbar_w": activity["crossbar_traversals"]
+        * tech.crossbar_energy_per_bit
+        * flit_bits
+        * rate,
+        "link_w": activity["link_flit_hops"]
+        * tech.link_energy_per_bit_per_unit
+        * flit_bits
+        * rate,
+    }
+
+
+def power_report(
+    topology: MeshTopology,
+    config: SimConfig,
+    activity: Dict[str, int],
+    cycles: int,
+    tech: TechParams | None = None,
+) -> PowerReport:
+    """Full static + dynamic report for one simulation run."""
+    tech = tech or TechParams()
+    static = router_static_power(topology, config, tech)
+    dyn = dynamic_power(activity, cycles, config.flit_bits, tech)
+    return PowerReport(
+        static=static,
+        dynamic_w=sum(dyn.values()),
+        dynamic_breakdown=dyn,
+    )
+
+
+def routing_table_bits(n: int, height: int | None = None) -> int:
+    """Bits in one router's two next-hop tables (Section 4.5.2).
+
+    Each dimension's table has up to ``dim - 1`` destination entries;
+    an entry stores an output-port number.  A router has at most
+    ``dim - 1`` same-dimension ports, so an entry needs
+    ``ceil(log2(dim - 1)) + 1`` bits (one spare for the eject
+    encoding) -- a few dozen bits total, which is what keeps the
+    overhead under 0.5 % of router area.  ``height`` defaults to ``n``
+    (the paper's square networks).
+    """
+    height = height if height is not None else n
+    entries = (n - 1) + (height - 1)
+    entry_bits = max((max(n, height) - 2).bit_length(), 1) + 1
+    return entries * entry_bits

@@ -1,0 +1,53 @@
+"""Technology coefficients for the analytical power/area model.
+
+The numbers are shaped after DSENT's 32 nm bulk-CMOS router models at
+1 GHz (the paper's configuration): router static power is dominated by
+input buffers and the crossbar, the crossbar scales as
+``b * k^2`` (datapath width times port count squared), and dynamic
+energy is charged per flit event proportionally to the bits moved.
+Absolute values are representative, not calibrated silicon data -- the
+paper's power results are used comparatively (Mesh vs HFB vs D&C_SA),
+and all of those comparisons depend only on the functional forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechParams:
+    """Coefficients of the power/area model (per-bit / per-event)."""
+
+    #: Static power per buffer bit [W/bit].
+    buffer_static_per_bit: float = 0.55e-6
+    #: Static power per crossbar bit-port^2 [W/(bit*port^2)].
+    crossbar_static_coeff: float = 0.85e-6
+    #: Fixed static power of control logic per router [W].
+    control_static_fixed: float = 1.8e-3
+    #: Static power per router port (allocators, port logic) [W].
+    control_static_per_port: float = 0.25e-3
+    #: Static power per routing-table bit [W/bit].
+    table_static_per_bit: float = 0.30e-6
+
+    #: Dynamic energy per buffer write, per bit [J/bit].
+    buffer_write_energy_per_bit: float = 0.045e-12
+    #: Dynamic energy per buffer read, per bit [J/bit].
+    buffer_read_energy_per_bit: float = 0.035e-12
+    #: Dynamic energy per crossbar traversal, per bit [J/bit].
+    crossbar_energy_per_bit: float = 0.06e-12
+    #: Dynamic energy per unit-length link traversal, per bit [J/bit/unit].
+    link_energy_per_bit_per_unit: float = 0.18e-12
+
+    #: Clock frequency [Hz]; the paper runs the NoC at 1.0 GHz.
+    frequency_hz: float = 1.0e9
+
+    # ----- area (for the routing-table overhead estimate) -------------
+    #: Router area per buffer bit [um^2/bit].
+    buffer_area_per_bit: float = 0.55
+    #: Crossbar area coefficient [um^2/(bit*port^2)].
+    crossbar_area_coeff: float = 0.9
+    #: Fixed control-logic area per router [um^2].
+    control_area_fixed: float = 2500.0
+    #: Area per routing-table bit (SRAM cell + decode) [um^2/bit].
+    table_area_per_bit: float = 0.4

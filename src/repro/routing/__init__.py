@@ -1,0 +1,47 @@
+"""Routing substrate: directional shortest paths, tables, DOR, deadlock checks."""
+
+from repro.routing.shortest_path import (
+    HopCostModel,
+    LEFT_TO_RIGHT,
+    RIGHT_TO_LEFT,
+    directional_distances,
+    directional_hop_counts,
+    directional_paths,
+    floyd_warshall_distances,
+    floyd_warshall,
+    weight_matrix,
+)
+from repro.routing.tables import RoutingTables
+from repro.routing.dor import (
+    compute_route,
+    route_head_latency,
+    route_hops,
+    turning_point,
+)
+from repro.routing.deadlock import (
+    channel_dependency_graph,
+    check_no_u_turns,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+
+__all__ = [
+    "HopCostModel",
+    "LEFT_TO_RIGHT",
+    "RIGHT_TO_LEFT",
+    "directional_distances",
+    "directional_hop_counts",
+    "directional_paths",
+    "floyd_warshall_distances",
+    "floyd_warshall",
+    "weight_matrix",
+    "RoutingTables",
+    "compute_route",
+    "route_head_latency",
+    "route_hops",
+    "turning_point",
+    "channel_dependency_graph",
+    "check_no_u_turns",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+]

@@ -1,0 +1,190 @@
+"""Directional shortest paths on a row (Section 4.5.1).
+
+The paper computes packet routes with two Floyd-Warshall passes per
+dimension: one pass allows only left-to-right edges, the other only
+right-to-left edges.  This enforces the no-U-turn rule that makes the
+routing deadlock-free (every hop moves monotonically toward the
+destination in the current dimension), and it is what the simulated
+annealing evaluates on every candidate placement, so it must be fast.
+
+The min-plus Floyd-Warshall here is vectorized with NumPy: the ``k``
+loop stays in Python (``n`` iterations) but each relaxation is one
+``n x n`` broadcast, which for the paper's row sizes (``n <= 16``)
+runs in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.topology.row import RowPlacement
+
+#: Direction tags for the two passes.
+LEFT_TO_RIGHT = "l2r"
+RIGHT_TO_LEFT = "r2l"
+
+INF = np.inf
+
+
+@dataclass(frozen=True)
+class HopCostModel:
+    """Per-hop latency cost parameters of Eq. 1.
+
+    ``router_delay`` is :math:`T_r` (cycles through one router pipeline,
+    3 for the paper's canonical 3-stage router), ``unit_link_delay`` is
+    :math:`T_l` (one cycle per unit-length, repeater-segmented link) and
+    ``contention_delay`` is :math:`T_c`, the average per-hop contention
+    the paper measures to be below one cycle at realistic loads.  The
+    head latency of a path is ``sum over hops of (Tr + Tc + len * Tl)``.
+    """
+
+    router_delay: float = 3.0
+    unit_link_delay: float = 1.0
+    contention_delay: float = 0.0
+
+    def hop_cost(self, length: int) -> float:
+        """Head-latency cost of traversing one link of ``length`` units."""
+        return self.router_delay + self.contention_delay + length * self.unit_link_delay
+
+
+def weight_matrix(
+    placement: RowPlacement,
+    cost: HopCostModel,
+    direction: str,
+) -> np.ndarray:
+    """Adjacency weight matrix restricted to one traversal direction.
+
+    ``w[i, j]`` is the one-hop cost from router ``i`` to ``j`` if the
+    placement has a link ``(i, j)`` usable in ``direction``, else
+    ``inf``.  Diagonal entries are 0.
+    """
+    n = placement.n
+    w = np.full((n, n), INF)
+    np.fill_diagonal(w, 0.0)
+    for i, j in placement.all_links():  # i < j by construction
+        c = cost.hop_cost(j - i)
+        if direction == LEFT_TO_RIGHT:
+            w[i, j] = c
+        elif direction == RIGHT_TO_LEFT:
+            w[j, i] = c
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+    return w
+
+
+def floyd_warshall(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Min-plus Floyd-Warshall with next-hop reconstruction.
+
+    Parameters
+    ----------
+    w:
+        Square weight matrix (``inf`` for missing edges, 0 diagonal).
+
+    Returns
+    -------
+    dist:
+        All-pairs shortest distances.
+    next_hop:
+        ``next_hop[i, j]`` is the first router after ``i`` on a
+        shortest ``i -> j`` path, or ``-1`` when ``j`` is unreachable
+        (and ``j`` itself when ``i == j``).  This is exactly the
+        routing-table content of Figure 3(b).
+    """
+    n = w.shape[0]
+    dist = w.copy()
+    next_hop = np.full((n, n), -1, dtype=np.int64)
+    reachable = np.isfinite(w)
+    cols = np.arange(n)
+    for i in range(n):
+        next_hop[i, reachable[i]] = cols[reachable[i]]
+        next_hop[i, i] = i
+    for k in range(n):
+        via = dist[:, k, None] + dist[None, k, :]
+        better = via < dist
+        if better.any():
+            dist = np.where(better, via, dist)
+            # First hop toward j via k is the first hop toward k.
+            next_hop = np.where(better, next_hop[:, k, None], next_hop)
+    return dist, next_hop
+
+
+def floyd_warshall_distances(w: np.ndarray) -> np.ndarray:
+    """Distance-only min-plus Floyd-Warshall (the annealing hot path).
+
+    Skipping next-hop bookkeeping roughly halves the cost of an
+    objective evaluation; the simulated annealing calls this tens of
+    thousands of times per solve, while the full
+    :func:`floyd_warshall` is only needed once per final placement to
+    populate routing tables.
+    """
+    dist = w.copy()
+    for k in range(w.shape[0]):
+        np.minimum(dist, dist[:, k, None] + dist[None, k, :], out=dist)
+    return dist
+
+
+def directional_distances(
+    placement: RowPlacement,
+    cost: HopCostModel | None = None,
+) -> np.ndarray:
+    """All-pairs directional head latencies (no next hops; fast path)."""
+    cost = cost or HopCostModel()
+    n = placement.n
+    d_lr = floyd_warshall_distances(weight_matrix(placement, cost, LEFT_TO_RIGHT))
+    d_rl = floyd_warshall_distances(weight_matrix(placement, cost, RIGHT_TO_LEFT))
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    dist = np.where(upper, d_lr, d_rl)
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def directional_paths(
+    placement: RowPlacement,
+    cost: HopCostModel | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All-pairs directional head latencies and next hops for one row.
+
+    Combines the two Floyd-Warshall passes: entries with ``j > i`` come
+    from the left-to-right pass, ``j < i`` from the right-to-left pass.
+    Because every local link exists in both directions, all pairs are
+    reachable and the result is finite.
+
+    Returns ``(dist, next_hop)`` as in :func:`floyd_warshall`.
+    """
+    cost = cost or HopCostModel()
+    n = placement.n
+    d_lr, nh_lr = floyd_warshall(weight_matrix(placement, cost, LEFT_TO_RIGHT))
+    d_rl, nh_rl = floyd_warshall(weight_matrix(placement, cost, RIGHT_TO_LEFT))
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    dist = np.where(upper, d_lr, d_rl)
+    next_hop = np.where(upper, nh_lr, nh_rl)
+    np.fill_diagonal(dist, 0.0)
+    np.fill_diagonal(next_hop, np.arange(n))
+    return dist, next_hop
+
+
+def directional_hop_counts(placement: RowPlacement, cost: HopCostModel | None = None) -> np.ndarray:
+    """All-pairs hop counts ``H`` along the latency-optimal paths.
+
+    Used by the power model (dynamic energy scales with hops) and by
+    the simulator cross-checks.  Ties in latency are broken exactly as
+    :func:`directional_paths` breaks them, by following ``next_hop``.
+    """
+    _, next_hop = directional_paths(placement, cost)
+    n = placement.n
+    hops = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            v, count = i, 0
+            while v != j:
+                v = int(next_hop[v, j])
+                count += 1
+                if count > n:
+                    raise RuntimeError("next-hop table contains a loop")
+            hops[i, j] = count
+    return hops

@@ -1,0 +1,31 @@
+"""Cycle-accurate flit-level NoC simulator (the gem5/GARNET substitute)."""
+
+from repro.sim.config import SimConfig
+from repro.sim.flit import Flit, Packet, make_flits
+from repro.sim.link import CreditPipeline, LinkPipeline
+from repro.sim.buffers import InputPort, VirtualChannel
+from repro.sim.router import EJECT, OutputChannel, Router
+from repro.sim.interface import NetworkInterface
+from repro.sim.network import Network
+from repro.sim.stats import LatencySummary, StatsCollector
+from repro.sim.engine import RunResult, Simulator
+
+__all__ = [
+    "SimConfig",
+    "Flit",
+    "Packet",
+    "make_flits",
+    "CreditPipeline",
+    "LinkPipeline",
+    "InputPort",
+    "VirtualChannel",
+    "EJECT",
+    "OutputChannel",
+    "Router",
+    "NetworkInterface",
+    "Network",
+    "LatencySummary",
+    "StatsCollector",
+    "RunResult",
+    "Simulator",
+]

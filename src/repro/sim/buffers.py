@@ -1,0 +1,69 @@
+"""Virtual-channel input buffers (credit-based wormhole flow control).
+
+Each input port holds ``V`` virtual channels.  A VC buffer is a FIFO of
+flits belonging to back-to-back worms (packets never interleave within
+a VC because the upstream router sends each worm contiguously on the VC
+it allocated).  The VC tracks the route state of the worm currently at
+its head: the output channel chosen by route computation and the
+downstream VC granted by VC allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sim.flit import Flit
+
+
+class VirtualChannel:
+    """One VC FIFO plus the route state of the worm at its head."""
+
+    __slots__ = ("buffer", "out_channel", "out_vc")
+
+    def __init__(self) -> None:
+        self.buffer: Deque[Flit] = deque()
+        # Output channel key chosen for the current head worm (None until
+        # route computation runs for the head flit at the buffer front).
+        self.out_channel: Optional[int] = None
+        # Downstream VC index granted by VC allocation (None until VA).
+        self.out_vc: Optional[int] = None
+
+    def push(self, flit: Flit, cycle: int) -> None:
+        flit.ready_at = cycle
+        self.buffer.append(flit)
+
+    @property
+    def front(self) -> Optional[Flit]:
+        return self.buffer[0] if self.buffer else None
+
+    def pop(self) -> Flit:
+        return self.buffer.popleft()
+
+    def reset_route(self) -> None:
+        self.out_channel = None
+        self.out_vc = None
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+
+class InputPort:
+    """A router input port: ``V`` virtual channels of equal depth.
+
+    ``credit_home`` identifies where freed buffer slots are reported:
+    the upstream router's output channel (via a credit pipeline) or the
+    local network interface.
+    """
+
+    __slots__ = ("vcs", "depth")
+
+    def __init__(self, num_vcs: int, depth: int):
+        self.vcs = [VirtualChannel() for _ in range(num_vcs)]
+        self.depth = depth
+
+    def occupancy(self) -> int:
+        return sum(len(vc) for vc in self.vcs)
+
+    def has_flits(self) -> bool:
+        return any(vc.buffer for vc in self.vcs)

@@ -1,0 +1,176 @@
+"""The cycle loop: traffic generation, delivery, allocation, draining.
+
+One simulated cycle proceeds in fixed phases:
+
+1. the traffic generator offers new packets to the NIs (source queues),
+2. link and credit pipelines deliver everything due this cycle,
+3. NIs stream at most one flit each into their injection channels,
+4. every router runs one round of VC/switch allocation.
+
+Phase effects only become visible to other phases on later cycles
+(pipelines add at least one cycle), so intra-cycle phase order cannot
+create causality artifacts.
+
+The run ends when every packet created inside the measurement window
+has been ejected, or at ``max_cycles`` (whichever first); a watchdog
+aborts if the network holds flits but nothing moves -- the simulator's
+deadlock-freedom assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.routing.shortest_path import HopCostModel
+from repro.routing.tables import RoutingTables
+from repro.sim.config import SimConfig
+from repro.sim.flit import Packet
+from repro.sim.network import Network
+from repro.sim.stats import LatencySummary, StatsCollector
+from repro.topology.mesh import MeshTopology
+from repro.util.errors import SimulationError
+
+
+class TrafficProtocol(Protocol):
+    """What the engine needs from a traffic generator."""
+
+    def packets_for_cycle(self, cycle: int):
+        """Yield ``(src, dst, size_bits)`` triples to inject this cycle."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class RunResult:
+    """Summary plus run-health metadata."""
+
+    summary: LatencySummary
+    cycles_run: int
+    drained: bool
+    packets_created: int
+    packets_done: int
+    activity: dict
+
+
+class Simulator:
+    """Drives one :class:`Network` under one traffic generator."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: SimConfig,
+        traffic: TrafficProtocol,
+        tables: Optional[RoutingTables] = None,
+        cost: Optional[HopCostModel] = None,
+        check_invariants: bool = False,
+    ):
+        self.topology = topology
+        self.config = config
+        self.traffic = traffic
+        cost = cost or HopCostModel()
+        mode = config.routing_mode
+        if tables is not None:
+            tables_by_order = {tables.order: tables}
+        elif mode == "o1turn":
+            tables_by_order = {
+                "xy": RoutingTables.build(topology, cost, "xy"),
+                "yx": RoutingTables.build(topology, cost, "yx"),
+            }
+        else:
+            tables_by_order = {mode: RoutingTables.build(topology, cost, mode)}
+        if mode == "o1turn" and set(tables_by_order) != {"xy", "yx"}:
+            raise SimulationError("o1turn needs routing tables for both orders")
+        self.tables_by_order = tables_by_order
+        # Primary tables (analysis helpers, zero-load cross-checks).
+        self.tables = tables_by_order.get("xy") or next(iter(tables_by_order.values()))
+        # The order stamped on packets in single-order modes.
+        self._default_order = mode if mode in tables_by_order else next(
+            iter(tables_by_order)
+        )
+        self._order_rng = np.random.default_rng(config.seed ^ 0x5EED)
+        self.stats = StatsCollector(config.warmup_cycles, config.measure_cycles)
+        self.network = Network(topology, tables_by_order, config, self.stats)
+        self._next_pid = 0
+        #: When set, conservation laws are re-verified every 64 cycles
+        #: (used by the property tests; costs ~10% runtime).
+        self.check_invariants = check_invariants
+
+    # ------------------------------------------------------------------
+    def _inject(self, cycle: int) -> None:
+        window_end = self.config.warmup_cycles + self.config.measure_cycles
+        # Keep offering background load during drain so measured packets
+        # finish under realistic contention, but stop once everything
+        # measured has completed (the loop exits then anyway).
+        o1turn = self.config.routing_mode == "o1turn"
+        for src, dst, size_bits in self.traffic.packets_for_cycle(cycle):
+            packet = Packet(
+                self._next_pid, src, dst, size_bits, self.config.flit_bits, cycle
+            )
+            if o1turn:
+                packet.order = "xy" if self._order_rng.random() < 0.5 else "yx"
+            else:
+                packet.order = self._default_order
+            self._next_pid += 1
+            self.network.nis[src].enqueue(packet)
+        del window_end
+
+    def step(self, cycle: int) -> int:
+        """Advance one cycle; return the number of flit movements."""
+        self._inject(cycle)
+        moved = self.network.deliver(cycle)
+        for ni in self.network.nis:
+            if ni.has_backlog():
+                moved += ni.tick(cycle)
+        moved += self.network.allocate(cycle)
+        return moved
+
+    def run(self) -> RunResult:
+        """Run to drain (or ``max_cycles``) and summarize."""
+        cfg = self.config
+        window_end = cfg.warmup_cycles + cfg.measure_cycles
+        idle_streak = 0
+        cycle = 0
+        for cycle in range(cfg.max_cycles):
+            moved = self.step(cycle)
+            if self.check_invariants and cycle % 64 == 0:
+                self._verify_invariants(cycle)
+            if moved == 0 and self.network.flits_in_flight() > 0:
+                idle_streak += 1
+                if idle_streak >= cfg.watchdog_cycles:
+                    raise SimulationError(
+                        f"watchdog: {self.network.flits_in_flight()} flits stuck "
+                        f"for {idle_streak} cycles at cycle {cycle}"
+                    )
+            else:
+                idle_streak = 0
+            if cycle >= window_end and self.stats.drained:
+                break
+        return RunResult(
+            summary=self.stats.summary(),
+            cycles_run=cycle + 1,
+            drained=self.stats.drained,
+            packets_created=self.stats.created_total,
+            packets_done=self.stats.done_total,
+            activity=self.network.activity_counters(),
+        )
+
+    def _verify_invariants(self, cycle: int) -> None:
+        """Conservation laws that must hold at every instant.
+
+        * credits never negative nor above the receiving buffer depth,
+        * no input VC holds more flits than its depth.
+
+        Violations are simulator bugs, surfaced as
+        :class:`SimulationError` with the offending cycle.
+        """
+        if not self.network.credit_invariant_ok():
+            raise SimulationError(f"credit bound violated at cycle {cycle}")
+        for router in self.network.routers:
+            for port in router.in_ports.values():
+                for vc in port.vcs:
+                    if len(vc) > port.depth:
+                        raise SimulationError(
+                            f"VC overflow at router {router.node}, cycle {cycle}: "
+                            f"{len(vc)} flits in a depth-{port.depth} buffer"
+                        )

@@ -1,0 +1,91 @@
+"""Packets and flits -- the units of the wormhole network.
+
+A packet of ``S`` bits is serialized into ``ceil(S / b)`` flits at link
+width ``b``.  The head flit carries the route; body flits follow the
+worm; the tail flit releases the virtual-channel allocation.  Objects
+use ``__slots__``: at saturation thousands of flits are live at once
+and attribute-dict overhead would dominate the simulator's footprint.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Packet:
+    """One network packet and its lifetime timestamps (in cycles)."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "size_bits",
+        "num_flits",
+        "created",
+        "injected",
+        "head_ejected",
+        "tail_ejected",
+        "order",
+    )
+
+    def __init__(self, pid: int, src: int, dst: int, size_bits: int, flit_bits: int, created: int):
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.size_bits = size_bits
+        self.num_flits = max(1, math.ceil(size_bits / flit_bits))
+        self.created = created
+        self.injected = -1
+        self.head_ejected = -1
+        self.tail_ejected = -1
+        # Dimension order this packet routes with: "xy" or "yx".  Under
+        # O1TURN each packet picks one at injection; the VC class it may
+        # occupy is tied to this choice (deadlock freedom per class).
+        self.order = "xy"
+
+    # Latency views (valid once tail_ejected >= 0) -------------------
+    @property
+    def network_latency(self) -> int:
+        """Head-enters-network to tail-ejected (the paper's metric)."""
+        return self.tail_ejected - self.injected
+
+    @property
+    def total_latency(self) -> int:
+        """Creation (incl. source queueing) to tail-ejected."""
+        return self.tail_ejected - self.created
+
+    @property
+    def head_latency(self) -> int:
+        """Head-enters-network to head-ejected (measured ``L_D``)."""
+        return self.head_ejected - self.injected
+
+    @property
+    def serialization_latency(self) -> int:
+        """Tail-after-head at the destination (measured ``L_S``)."""
+        return self.tail_ejected - self.head_ejected
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Packet({self.pid}, {self.src}->{self.dst}, {self.num_flits}f)"
+
+
+class Flit:
+    """One flow-control unit of a packet."""
+
+    __slots__ = ("packet", "index", "is_head", "is_tail", "ready_at")
+
+    def __init__(self, packet: Packet, index: int):
+        self.packet = packet
+        self.index = index
+        self.is_head = index == 0
+        self.is_tail = index == packet.num_flits - 1
+        # Cycle at which the flit became readable in its current buffer.
+        self.ready_at = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({self.packet.pid}.{self.index}{kind})"
+
+
+def make_flits(packet: Packet) -> list:
+    """All flits of ``packet`` in transmission order."""
+    return [Flit(packet, i) for i in range(packet.num_flits)]

@@ -1,0 +1,75 @@
+"""Pipelined links and credit return channels.
+
+Express links are segmented by repeaters (Section 2.2 / [20]): a link
+of Manhattan length ``L`` has ``L`` cycles of traversal latency but
+sustains one flit per cycle -- it behaves as an ``L``-deep pipeline,
+not a blocking resource.  Credits ride an identical reverse pipeline.
+
+Both pipelines are modeled as deques of ``(ready_cycle, payload)``
+pairs; entries are appended in increasing ``ready_cycle`` order (one
+insertion per cycle at the upstream end), so delivery pops from the
+left only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.sim.flit import Flit
+
+
+class LinkPipeline:
+    """A unidirectional flit pipeline of fixed latency."""
+
+    __slots__ = ("latency", "_queue")
+
+    def __init__(self, latency: int):
+        if latency < 0:
+            raise ValueError("link latency must be nonnegative")
+        self.latency = latency
+        self._queue: Deque[Tuple[int, Flit, int]] = deque()
+
+    def send(self, cycle: int, flit: Flit, vc: int) -> None:
+        """Launch ``flit`` toward downstream VC ``vc`` at ``cycle`` (ST time)."""
+        self._queue.append((cycle + 1 + self.latency, flit, vc))
+
+    def deliver(self, cycle: int) -> List[Tuple[Flit, int]]:
+        """Pop every flit whose traversal completes by ``cycle``."""
+        out: List[Tuple[Flit, int]] = []
+        q = self._queue
+        while q and q[0][0] <= cycle:
+            _, flit, vc = q.popleft()
+            out.append((flit, vc))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Flits currently in flight on this link."""
+        return len(self._queue)
+
+
+class CreditPipeline:
+    """The reverse channel carrying per-VC credits upstream."""
+
+    __slots__ = ("latency", "_queue")
+
+    def __init__(self, latency: int):
+        self.latency = latency
+        self._queue: Deque[Tuple[int, int]] = deque()
+
+    def send(self, cycle: int, vc: int) -> None:
+        self._queue.append((cycle + 1 + self.latency, vc))
+
+    def deliver(self, cycle: int) -> List[int]:
+        out: List[int] = []
+        q = self._queue
+        while q and q[0][0] <= cycle:
+            out.append(q.popleft()[1])
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,141 @@
+"""Network assembly: topology + routing tables -> routers, links, NIs.
+
+Builds one :class:`~repro.sim.router.Router` per node, one directed
+channel pair per topology link (flit pipeline downstream, credit
+pipeline upstream), a zero-length injection channel per node, and the
+ejection path.  Route lookups are precomputed into flat per-router
+``dst -> output`` dictionaries so the hot allocation loop never touches
+the table machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.routing.tables import RoutingTables
+from repro.sim.buffers import InputPort
+from repro.sim.config import SimConfig
+from repro.sim.interface import NetworkInterface
+from repro.sim.router import EJECT, OutputChannel, Router
+from repro.sim.stats import StatsCollector
+from repro.topology.mesh import MeshTopology
+
+
+class Network:
+    """All simulator state for one topology."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        tables: "RoutingTables | Dict[str, RoutingTables]",
+        config: SimConfig,
+        stats: StatsCollector,
+    ):
+        self.topology = topology
+        self.config = config
+        if isinstance(tables, RoutingTables):
+            tables_by_order = {tables.order: tables}
+        else:
+            tables_by_order = dict(tables)
+        self.tables_by_order = tables_by_order
+        # VC classes: O1TURN splits the VCs between the two orders;
+        # single-order modes use the full range.
+        if config.routing_mode == "o1turn":
+            half = config.vcs_per_port // 2
+            vc_class = {"xy": (0, half), "yx": (half, config.vcs_per_port)}
+        else:
+            vc_class = {order: (0, config.vcs_per_port) for order in tables_by_order}
+        self.routers: List[Router] = [Router(v) for v in range(topology.num_nodes)]
+        # (output_channel, downstream_router, downstream_port_key)
+        self._wires: List[Tuple[OutputChannel, Router, int]] = []
+        self.nis: List[NetworkInterface] = []
+
+        num_vcs = config.vcs_per_port
+        depth_at = [
+            config.vc_depth_for_radix(topology.radix(v)) for v in range(topology.num_nodes)
+        ]
+
+        for a, b, _dim in topology.channels():
+            length = topology.channel_length(a, b)
+            for up, down in ((a, b), (b, a)):
+                out = OutputChannel(down, length, num_vcs, depth_at[down])
+                port = InputPort(num_vcs, depth_at[down])
+                self.routers[up].add_output(down, out)
+                self.routers[down].add_input(up, port, out.credit_pipe)
+                self._wires.append((out, self.routers[down], up))
+
+        for v in range(topology.num_nodes):
+            router = self.routers[v]
+            router.vc_class = dict(vc_class)
+            # Ejection pseudo-output (no channel object needed).
+            router.output_order.append(EJECT)
+            # Injection channel: NI -> router local port, zero length.
+            inj = OutputChannel(v, 0, num_vcs, depth_at[v])
+            port = InputPort(num_vcs, depth_at[v])
+            router.add_input(v, port, inj.credit_pipe)
+            self._wires.append((inj, router, v))
+            self.nis.append(
+                NetworkInterface(v, router, inj, stats, vc_class=vc_class)
+            )
+            # Precompute route lookups, one table per dimension order.
+            for order, order_tables in tables_by_order.items():
+                table = {}
+                for dst in range(topology.num_nodes):
+                    table[dst] = EJECT if dst == v else order_tables.next_hop(v, dst)
+                router.route_tables[order] = table
+
+    # ------------------------------------------------------------------
+    def deliver(self, cycle: int) -> int:
+        """Move flits/credits whose pipeline latency expired; return count."""
+        moved = 0
+        for out, down_router, port_key in self._wires:
+            out.drain_credits(cycle)
+            arrivals = out.link.deliver(cycle)
+            if arrivals:
+                port = down_router.in_ports[port_key]
+                for flit, vc in arrivals:
+                    port.vcs[vc].push(flit, cycle)
+                    down_router.buffer_writes += 1
+                moved += len(arrivals)
+        return moved
+
+    def allocate(self, cycle: int) -> int:
+        """Run every router's allocator; return flits granted."""
+        moved = 0
+        for router in self.routers:
+            if router.has_traffic():
+                moved += router.allocate(cycle)
+        return moved
+
+    # ------------------------------------------------------------------
+    def flits_in_flight(self) -> int:
+        """Flits buffered or on links (conservation-law checks)."""
+        count = 0
+        for router in self.routers:
+            for port in router.in_ports.values():
+                count += port.occupancy()
+        for out, _, _ in self._wires:
+            count += out.link.occupancy
+        return count
+
+    def credit_invariant_ok(self) -> bool:
+        """Credits + occupancy + in-flight must never exceed buffer depth."""
+        for out, down_router, port_key in self._wires:
+            port = down_router.in_ports[port_key]
+            for v, credit in enumerate(out.credits):
+                if credit < 0 or credit > port.depth:
+                    return False
+        return True
+
+    def activity_counters(self) -> Dict[str, int]:
+        """Aggregate activity for the power model."""
+        return {
+            "buffer_writes": sum(r.buffer_writes for r in self.routers),
+            "buffer_reads": sum(r.buffer_reads for r in self.routers),
+            "crossbar_traversals": sum(r.crossbar_traversals for r in self.routers),
+            "link_flit_hops": sum(
+                out.flits_sent * max(out.link.latency, 1)
+                for r in self.routers
+                for out in r.outputs.values()
+            ),
+        }

@@ -1,0 +1,208 @@
+"""The 3-stage credit-based wormhole router (Section 4.5.2, Figure 3).
+
+Pipeline timing (matching ``Tr = 3`` of the analytical model): a flit
+readable in an input VC at cycle ``t`` undergoes buffer write + route
+computation conceptually at ``t``, competes in VC/switch allocation
+from ``t + 1``, and on a grant at cycle ``s`` traverses the switch at
+``s + 1`` and then the link for ``len`` cycles -- arriving readable at
+the next router at ``s + 2 + len``.  An uncontended hop therefore costs
+``3 + len`` cycles, exactly ``Tr + len * Tl``.
+
+Allocation is a separable two-constraint arbitration: at most one grant
+per output channel and one per input port per cycle, with round-robin
+priority per output.  Virtual-channel allocation is folded into switch
+allocation: a head flit wins only if a free downstream VC with an
+available credit exists (non-atomic VC reuse -- the VC is released when
+the tail flit is sent, which is safe because worms on one VC stay
+contiguous and drain in order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.buffers import InputPort
+from repro.sim.flit import Flit
+from repro.sim.link import CreditPipeline, LinkPipeline
+
+#: Output-channel key for local ejection.
+EJECT = -1
+
+
+class OutputChannel:
+    """A router's view of one outgoing directed channel."""
+
+    __slots__ = ("dest", "link", "credit_pipe", "credits", "vc_busy", "rr", "flits_sent")
+
+    def __init__(self, dest: int, length: int, num_vcs: int, downstream_depth: int):
+        self.dest = dest
+        self.link = LinkPipeline(length)
+        self.credit_pipe = CreditPipeline(length)
+        self.credits = [downstream_depth] * num_vcs
+        self.vc_busy: List[Optional[int]] = [None] * num_vcs
+        self.rr = 0
+        self.flits_sent = 0
+
+    def free_vc_with_credit(self, lo: int = 0, hi: Optional[int] = None) -> Optional[int]:
+        """Lowest-index downstream VC in ``[lo, hi)`` that is free with room.
+
+        The range restricts allocation to one VC class; O1TURN packets
+        may only occupy the class matching their dimension order.
+        """
+        hi = len(self.vc_busy) if hi is None else hi
+        for v in range(lo, hi):
+            if self.vc_busy[v] is None and self.credits[v] > 0:
+                return v
+        return None
+
+    def drain_credits(self, cycle: int) -> None:
+        for vc in self.credit_pipe.deliver(cycle):
+            self.credits[vc] += 1
+
+
+class Router:
+    """One network router: input ports, output channels, allocator."""
+
+    __slots__ = (
+        "node",
+        "in_ports",
+        "in_port_order",
+        "outputs",
+        "output_order",
+        "route_tables",
+        "vc_class",
+        "credit_sinks",
+        "eject_sink",
+        "flits_routed",
+        "buffer_writes",
+        "buffer_reads",
+        "crossbar_traversals",
+    )
+
+    def __init__(self, node: int):
+        self.node = node
+        # key: upstream node id, or the router's own id for injection.
+        self.in_ports: Dict[int, InputPort] = {}
+        self.in_port_order: List[int] = []
+        # key: downstream node id, or EJECT.
+        self.outputs: Dict[int, OutputChannel] = {}
+        self.output_order: List[int] = []
+        # order ("xy"/"yx") -> {dst node -> output key}, precomputed
+        # from the routing tables.
+        self.route_tables: Dict[str, Dict[int, int]] = {}
+        # order -> (lo, hi) VC index range packets of that order may
+        # occupy downstream (O1TURN splits the VCs into two classes).
+        self.vc_class: Dict[str, Tuple[int, int]] = {}
+        # input-port key -> credit pipeline (or NI adapter) to notify
+        # when a flit leaves that port's buffer.
+        self.credit_sinks: Dict[int, CreditPipeline] = {}
+        # callback(flit, cycle) for ejected flits.
+        self.eject_sink: Optional[Callable[[Flit, int], None]] = None
+        # Activity counters for the power model.
+        self.flits_routed = 0
+        self.buffer_writes = 0
+        self.buffer_reads = 0
+        self.crossbar_traversals = 0
+
+    # ------------------------------------------------------------------
+    def add_input(self, key: int, port: InputPort, credit_sink: CreditPipeline) -> None:
+        self.in_ports[key] = port
+        self.in_port_order.append(key)
+        self.credit_sinks[key] = credit_sink
+
+    def add_output(self, key: int, channel: OutputChannel) -> None:
+        self.outputs[key] = channel
+        self.output_order.append(key)
+
+    @property
+    def radix(self) -> int:
+        """Network ports (inputs excluding injection)."""
+        return len(self.in_port_order) - (1 if self.node in self.in_ports else 0)
+
+    def has_traffic(self) -> bool:
+        return any(p.has_flits() for p in self.in_ports.values())
+
+    # ------------------------------------------------------------------
+    def allocate(self, cycle: int) -> int:
+        """Run one cycle of VC/switch allocation; return flits moved."""
+        # Gather requests per output channel.
+        requests: Dict[int, List[Tuple[int, int]]] = {}
+        for pkey in self.in_port_order:
+            port = self.in_ports[pkey]
+            for vci, vc in enumerate(port.vcs):
+                flit = vc.front
+                if flit is None or cycle < flit.ready_at + 1:
+                    continue
+                if vc.out_channel is None:
+                    if not flit.is_head:  # pragma: no cover - invariant
+                        raise RuntimeError("body flit at VC front without route state")
+                    vc.out_channel = self.route_tables[flit.packet.order][flit.packet.dst]
+                requests.setdefault(vc.out_channel, []).append((pkey, vci))
+
+        moved = 0
+        granted_inports: set = set()
+        for out_key in self.output_order:
+            reqs = requests.get(out_key)
+            if not reqs:
+                continue
+            out = self.outputs[out_key] if out_key != EJECT else None
+            num = len(reqs)
+            for offset in range(num):
+                pkey, vci = reqs[(offset + (out.rr if out else 0)) % num]
+                if pkey in granted_inports:
+                    continue
+                port = self.in_ports[pkey]
+                vc = port.vcs[vci]
+                flit = vc.front
+                if out_key == EJECT:
+                    self._grant_eject(cycle, pkey, vci, vc, flit)
+                    granted_inports.add(pkey)
+                    moved += 1
+                    break
+                ovc = self._output_vc(out, vc, flit)
+                if ovc is None:
+                    continue
+                self._grant(cycle, out, ovc, pkey, vci, vc, flit)
+                granted_inports.add(pkey)
+                moved += 1
+                out.rr += 1
+                break
+        return moved
+
+    # ------------------------------------------------------------------
+    def _output_vc(self, out: OutputChannel, vc, flit: Flit) -> Optional[int]:
+        """Downstream VC for this flit, or None if it must stall."""
+        if flit.is_head and vc.out_vc is None:
+            lo, hi = self.vc_class.get(flit.packet.order, (0, None))
+            return out.free_vc_with_credit(lo, hi)
+        ovc = vc.out_vc
+        if ovc is None:  # pragma: no cover - invariant
+            raise RuntimeError("body flit without an allocated output VC")
+        return ovc if out.credits[ovc] > 0 else None
+
+    def _grant(self, cycle, out: OutputChannel, ovc: int, pkey, vci, vc, flit: Flit) -> None:
+        vc.pop()
+        self.buffer_reads += 1
+        self.crossbar_traversals += 1
+        self.flits_routed += 1
+        self.credit_sinks[pkey].send(cycle, vci)
+        if flit.is_head:
+            out.vc_busy[ovc] = flit.packet.pid
+            vc.out_vc = ovc
+        out.credits[ovc] -= 1
+        out.link.send(cycle + 1, flit, ovc)  # ST at cycle+1, then LT
+        out.flits_sent += 1
+        if flit.is_tail:
+            out.vc_busy[ovc] = None
+            vc.reset_route()
+
+    def _grant_eject(self, cycle, pkey, vci, vc, flit: Flit) -> None:
+        vc.pop()
+        self.buffer_reads += 1
+        self.crossbar_traversals += 1
+        self.flits_routed += 1
+        self.credit_sinks[pkey].send(cycle, vci)
+        if self.eject_sink is not None:
+            self.eject_sink(flit, cycle + 1)  # consumed after ST
+        if flit.is_tail:
+            vc.reset_route()

@@ -1,0 +1,38 @@
+"""Topology substrate: 1D row placements and 2D express meshes."""
+
+from repro.topology.row import Link, RowPlacement, normalize_link
+from repro.topology.mesh import Channel, MeshTopology
+from repro.topology.flattened_butterfly import (
+    flattened_butterfly,
+    flattened_butterfly_row,
+    hybrid_flattened_butterfly,
+    hybrid_flattened_butterfly_row,
+    required_link_limit,
+)
+from repro.topology.express_cube import (
+    best_express_cube_row,
+    express_cube,
+    express_cube_row,
+    hierarchical_express_cube_row,
+)
+from repro.topology.validate import audit_mesh, audit_row, check_connected
+
+__all__ = [
+    "Link",
+    "RowPlacement",
+    "normalize_link",
+    "Channel",
+    "MeshTopology",
+    "flattened_butterfly",
+    "flattened_butterfly_row",
+    "hybrid_flattened_butterfly",
+    "hybrid_flattened_butterfly_row",
+    "required_link_limit",
+    "best_express_cube_row",
+    "express_cube",
+    "express_cube_row",
+    "hierarchical_express_cube_row",
+    "audit_mesh",
+    "audit_row",
+    "check_connected",
+]

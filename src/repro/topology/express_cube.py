@@ -1,0 +1,85 @@
+"""Express-cube style fixed placements (Dally [9], cited as prior work).
+
+The paper positions itself against *fixed* express-link schemes; the
+classic one is Dally's express cube: designate every ``k``-th router an
+interchange and connect consecutive interchanges with express links of
+length ``k``.  A hierarchical variant adds a second level of longer
+links between every ``k^2``-th interchange.
+
+These constructions give the library a second fixed-placement baseline
+(besides the HFB) and make the paper's core argument testable: a
+searched placement beats any of the fixed patterns it generalizes.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+
+def express_cube_row(n: int, interval: int) -> RowPlacement:
+    """One-level express cube row: links between every ``interval``-th router.
+
+    Interchanges sit at positions ``0, k, 2k, ...``; consecutive
+    interchanges are joined by a length-``k`` express link.  ``interval
+    >= 2`` (an interval of 1 is the plain mesh).
+    """
+    if interval < 2:
+        raise ConfigurationError(f"express interval must be >= 2, got {interval}")
+    links: Set[Tuple[int, int]] = set()
+    pos = 0
+    while pos + interval <= n - 1:
+        links.add((pos, pos + interval))
+        pos += interval
+    return RowPlacement(n, frozenset(links))
+
+
+def hierarchical_express_cube_row(n: int, interval: int) -> RowPlacement:
+    """Two-level express cube: level-1 links every ``k``, level-2 every ``k^2``."""
+    base = express_cube_row(n, interval)
+    links = set(base.express_links)
+    jump = interval * interval
+    pos = 0
+    while pos + jump <= n - 1:
+        links.add((pos, pos + jump))
+        pos += jump
+    return RowPlacement(n, frozenset(links))
+
+
+def express_cube(n: int, interval: int, hierarchical: bool = False) -> MeshTopology:
+    """The 2D express-cube topology (same row replicated per dimension)."""
+    row = (
+        hierarchical_express_cube_row(n, interval)
+        if hierarchical
+        else express_cube_row(n, interval)
+    )
+    return MeshTopology.uniform(row)
+
+
+def best_express_cube_row(n: int, link_limit: int) -> RowPlacement:
+    """The best express-cube interval that fits the cross-section limit.
+
+    Fixed schemes still have a knob (the interval); this picks the one
+    with the lowest all-pairs mean head latency among those satisfying
+    ``C`` -- the strongest fixed-cube competitor for a fair comparison.
+    """
+    from repro.core.latency import mean_row_head_latency
+
+    best: RowPlacement = RowPlacement.mesh(n)
+    best_energy = mean_row_head_latency(best)
+    for interval in range(2, n):
+        for hier in (False, True):
+            row = (
+                hierarchical_express_cube_row(n, interval)
+                if hier
+                else express_cube_row(n, interval)
+            )
+            if not row.satisfies_limit(link_limit):
+                continue
+            energy = mean_row_head_latency(row)
+            if energy < best_energy:
+                best, best_energy = row, energy
+    return best

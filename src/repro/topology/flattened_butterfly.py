@@ -1,0 +1,74 @@
+"""Flattened butterfly and hybrid flattened butterfly (HFB) baselines.
+
+The paper compares against the *hybrid flattened butterfly* of Kim et
+al. [17], which Section 5.1 describes (Figure 4): the network is divided
+into four quadrants, each quadrant is a fully-connected 2D flattened
+butterfly (all-to-all links within every quadrant row and quadrant
+column), and the quadrants are joined by ordinary local mesh links along
+the seams.
+
+Under dimension-order routing this is exactly a per-row construction:
+every row of an ``n x n`` HFB consists of two fully-connected halves of
+``n/2`` routers bridged by the single local seam link -- so both
+baselines are expressible as :class:`RowPlacement` objects and flow
+through the same evaluation pipeline as the optimizer's solutions.
+
+For ``n <= 4`` the HFB degenerates to the plain flattened butterfly
+(one fully-connected quadrant spans the whole row), matching the
+paper's remark that HFB exists to scale the flattened butterfly
+*beyond* 4x4.
+"""
+
+from __future__ import annotations
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+
+def flattened_butterfly_row(n: int) -> RowPlacement:
+    """Fully-connected row: the 1D slice of a flattened butterfly."""
+    return RowPlacement.fully_connected(n)
+
+
+def hybrid_flattened_butterfly_row(n: int) -> RowPlacement:
+    """One row of the hybrid flattened butterfly (Figure 4).
+
+    Two fully-connected halves of ``n // 2`` routers joined by the local
+    seam link.  ``n`` must be even for the quadrant split; for
+    ``n <= 4`` the full flattened butterfly row is returned instead.
+    """
+    if n <= 4:
+        return flattened_butterfly_row(n)
+    if n % 2 != 0:
+        raise ConfigurationError(f"HFB requires an even mesh side, got n={n}")
+    half = n // 2
+    links = set()
+    for i in range(half):
+        for j in range(i + 2, half):
+            links.add((i, j))
+    for i in range(half, n):
+        for j in range(i + 2, n):
+            links.add((i, j))
+    return RowPlacement(n, frozenset(links))
+
+
+def flattened_butterfly(n: int) -> MeshTopology:
+    """Full 2D flattened butterfly: all-to-all per row and per column."""
+    return MeshTopology.uniform(flattened_butterfly_row(n))
+
+
+def hybrid_flattened_butterfly(n: int) -> MeshTopology:
+    """The HFB baseline topology of Figure 4 as a 2D mesh object."""
+    return MeshTopology.uniform(hybrid_flattened_butterfly_row(n))
+
+
+def required_link_limit(placement: RowPlacement) -> int:
+    """The smallest cross-section limit ``C`` that admits ``placement``.
+
+    Fixed topologies like the HFB do not get to choose ``C``; their link
+    width is dictated by their own worst cross-section (Eq. 3), which is
+    what makes wide-flit meshes competitive with them on serialization
+    latency.
+    """
+    return placement.max_cross_section()

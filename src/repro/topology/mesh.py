@@ -1,0 +1,237 @@
+"""Two-dimensional mesh topologies with per-row/per-column express links.
+
+A :class:`MeshTopology` is the full 2D object consumed by the routing
+layer, the cycle-accurate simulator, and the power model.  It is built
+from one :class:`~repro.topology.row.RowPlacement` per row and one per
+column (Section 4.2: under dimension-order routing the two dimensions
+are independent, and for the general-purpose objective every row and
+column carries the same placement).
+
+Node ids are ``id = y * n + x`` with ``x`` the column (position within a
+row) and ``y`` the row index, matching the paper's Figure 3 numbering
+modulo the 0-based shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.topology.row import Link, RowPlacement
+from repro.util.errors import ConfigurationError
+
+# A physical channel in the 2D network: (node_a, node_b, dimension)
+# where dimension is "x" for row links and "y" for column links.
+Channel = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width x height`` mesh augmented with express links.
+
+    The paper's networks are square (``n x n``); rectangular meshes are
+    supported as a library extension -- the 2D -> 1D reduction of
+    Section 4.2 never uses squareness, only dimension-order routing.
+
+    Parameters
+    ----------
+    n:
+        Mesh *width* (row length).  Named ``n`` because the square case
+        is the paper's and the API's default.
+    row_placements:
+        One :class:`RowPlacement` of size ``width`` per row ``y`` --
+        ``height`` of them.
+    col_placements:
+        One :class:`RowPlacement` of size ``height`` per column ``x``
+        -- ``width`` of them.  A column placement's router index is the
+        ``y`` coordinate.
+    height:
+        Mesh height; defaults to ``n`` (square).
+    """
+
+    n: int
+    row_placements: Tuple[RowPlacement, ...] = field(default_factory=tuple)
+    col_placements: Tuple[RowPlacement, ...] = field(default_factory=tuple)
+    height: int = 0
+
+    def __post_init__(self) -> None:
+        if self.height == 0:
+            object.__setattr__(self, "height", self.n)
+        rows = tuple(self.row_placements)
+        cols = tuple(self.col_placements)
+        if len(rows) != self.height or len(cols) != self.n:
+            raise ConfigurationError(
+                f"need {self.height} row and {self.n} column placements, "
+                f"got {len(rows)} / {len(cols)}"
+            )
+        for p in rows:
+            if p.n != self.n:
+                raise ConfigurationError(
+                    f"row placement size {p.n} does not match mesh width {self.n}"
+                )
+        for p in cols:
+            if p.n != self.height:
+                raise ConfigurationError(
+                    f"column placement size {p.n} does not match mesh height {self.height}"
+                )
+        object.__setattr__(self, "row_placements", rows)
+        object.__setattr__(self, "col_placements", cols)
+
+    @property
+    def width(self) -> int:
+        """Row length; alias of ``n``."""
+        return self.n
+
+    @property
+    def is_square(self) -> bool:
+        return self.n == self.height
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, placement: RowPlacement) -> "MeshTopology":
+        """Replicate one row solution across all rows and columns.
+
+        This is the paper's general-purpose construction: solve
+        ``P~(n, C)`` once, duplicate ``n`` times for rows and ``n``
+        times for columns (Section 4.2).
+        """
+        n = placement.n
+        return cls(n=n, row_placements=(placement,) * n, col_placements=(placement,) * n)
+
+    @classmethod
+    def mesh(cls, n: int) -> "MeshTopology":
+        """The plain square mesh baseline (no express links)."""
+        return cls.uniform(RowPlacement.mesh(n))
+
+    @classmethod
+    def rectangular(
+        cls, row: RowPlacement, col: RowPlacement
+    ) -> "MeshTopology":
+        """A ``row.n x col.n`` mesh replicating one placement per dimension.
+
+        Library extension beyond the paper's square networks: ``row``
+        fills every row (width ``row.n``), ``col`` every column (height
+        ``col.n``).
+        """
+        return cls(
+            n=row.n,
+            row_placements=(row,) * col.n,
+            col_placements=(col,) * row.n,
+            height=col.n,
+        )
+
+    @classmethod
+    def rect_mesh(cls, width: int, height: int) -> "MeshTopology":
+        """The plain rectangular mesh baseline."""
+        return cls.rectangular(RowPlacement.mesh(width), RowPlacement.mesh(height))
+
+    @classmethod
+    def per_dimension(
+        cls,
+        rows: Sequence[RowPlacement],
+        cols: Sequence[RowPlacement],
+    ) -> "MeshTopology":
+        """Distinct placements per row/column (application-aware mode)."""
+        if not rows or not cols:
+            raise ConfigurationError("need at least one row and column placement")
+        return cls(
+            n=rows[0].n,
+            row_placements=tuple(rows),
+            col_placements=tuple(cols),
+            height=cols[0].n,
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.n * self.height
+
+    def node_id(self, x: int, y: int) -> int:
+        """Node id for column ``x``, row ``y``."""
+        return y * self.n + x
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """``(x, y)`` coordinates of ``node``."""
+        return node % self.n, node // self.n
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
+    def channels(self) -> List[Channel]:
+        """All bidirectional physical channels as ``(a, b, dim)`` triples.
+
+        ``a < b`` in node-id order.  Row links have ``dim == "x"``,
+        column links ``dim == "y"``.
+        """
+        chans: List[Channel] = []
+        for y, placement in enumerate(self.row_placements):
+            for i, j in placement.all_links():
+                chans.append((self.node_id(i, y), self.node_id(j, y), "x"))
+        for x, placement in enumerate(self.col_placements):
+            for i, j in placement.all_links():
+                chans.append((self.node_id(x, i), self.node_id(x, j), "y"))
+        return chans
+
+    def channel_length(self, a: int, b: int) -> int:
+        """Manhattan length of the (same-row or same-column) channel."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        if ax != bx and ay != by:
+            raise ConfigurationError(f"nodes {a} and {b} are not on one dimension")
+        return abs(ax - bx) + abs(ay - by)
+
+    def row_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Nodes reachable from ``node`` by one row (X-dimension) link."""
+        x, y = self.coords(node)
+        return tuple(self.node_id(i, y) for i in self.row_placements[y].neighbors(x))
+
+    def col_neighbors(self, node: int) -> Tuple[int, ...]:
+        """Nodes reachable from ``node`` by one column (Y-dimension) link."""
+        x, y = self.coords(node)
+        return tuple(self.node_id(x, i) for i in self.col_placements[x].neighbors(y))
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """All one-hop neighbors of ``node`` (row then column)."""
+        x, y = self.coords(node)
+        row = tuple(self.node_id(i, y) for i in self.row_placements[y].neighbors(x))
+        col = tuple(self.node_id(x, i) for i in self.col_placements[x].neighbors(y))
+        return row + col
+
+    def radix(self, node: int) -> int:
+        """Number of network ports at ``node`` (excluding the local NI)."""
+        x, y = self.coords(node)
+        return self.row_placements[y].degree(x) + self.col_placements[x].degree(y)
+
+    def max_cross_section(self) -> int:
+        """Worst cross-section link count over all rows and columns."""
+        return max(
+            p.max_cross_section() for p in self.row_placements + self.col_placements
+        )
+
+    def bisection_links(self) -> int:
+        """Links crossing the vertical mid-line of the chip.
+
+        For an even ``n`` this is the sum over rows of the cross-section
+        count at column position ``n/2 - 1`` -- the quantity bounded by
+        the bisection bandwidth ``B / b`` in Eq. 3.
+        """
+        mid = self.n // 2 - 1
+        if mid < 0:
+            return 0
+        return sum(p.cross_section_counts()[mid] for p in self.row_placements)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map radix -> number of routers with that radix."""
+        hist: Dict[int, int] = {}
+        for node in range(self.num_nodes):
+            r = self.radix(node)
+            hist[r] = hist.get(r, 0) + 1
+        return hist
+
+    def average_radix(self) -> float:
+        """Mean router radix; the ``k_e`` of Section 4.6."""
+        return sum(self.radix(v) for v in range(self.num_nodes)) / self.num_nodes

@@ -1,0 +1,75 @@
+"""Structural audits for placements and topologies.
+
+These checks encode the constraints of Section 3 (Eq. 3) plus sanity
+invariants the rest of the library relies on: local links always
+present, connectivity, and the bisection-bandwidth accounting that ties
+the link limit ``C`` to the flit width ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import InvalidPlacementError
+
+
+def audit_row(placement: RowPlacement, limit: int) -> Dict[str, object]:
+    """Validate a row placement against ``limit`` and report structure.
+
+    Returns a report dict with cross-section counts, worst section,
+    utilization (fraction of allowed bisection wires actually used) and
+    total wire length.  Raises :class:`InvalidPlacementError` on any
+    violation.
+    """
+    placement.validate(limit)
+    counts = placement.cross_section_counts()
+    return {
+        "n": placement.n,
+        "limit": limit,
+        "cross_section_counts": counts,
+        "max_cross_section": max(counts),
+        "utilization": sum(counts) / (limit * len(counts)),
+        "num_express_links": len(placement.express_links),
+        "total_wire_length": placement.total_wire_length(),
+    }
+
+
+def audit_mesh(topology: MeshTopology, limit: int) -> Dict[str, object]:
+    """Validate every row and column of a 2D topology against ``limit``."""
+    reports: List[Dict[str, object]] = []
+    for kind, placements in (
+        ("row", topology.row_placements),
+        ("col", topology.col_placements),
+    ):
+        for idx, p in enumerate(placements):
+            try:
+                reports.append({"kind": kind, "index": idx, **audit_row(p, limit)})
+            except InvalidPlacementError as exc:
+                raise InvalidPlacementError(f"{kind} {idx}: {exc}") from exc
+    return {
+        "n": topology.n,
+        "limit": limit,
+        "max_cross_section": topology.max_cross_section(),
+        "bisection_links": topology.bisection_links(),
+        "average_radix": topology.average_radix(),
+        "per_dimension": reports,
+    }
+
+
+def check_connected(placement: RowPlacement) -> bool:
+    """A row placement is always connected via local links; verify it.
+
+    This guards against future representation changes accidentally
+    dropping the implicit local links.
+    """
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        v = frontier.pop()
+        for w in placement.neighbors(v):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return len(seen) == placement.n

@@ -1,0 +1,59 @@
+"""Traffic substrate: synthetic patterns, matrix traffic, PARSEC models."""
+
+from repro.traffic.patterns import (
+    PAPER_PATTERNS,
+    PATTERNS,
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    Neighbor,
+    Pattern,
+    Shuffle,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+    pattern_matrix,
+)
+from repro.traffic.packets import PacketSizeSampler
+from repro.traffic.injection import (
+    CombinedTraffic,
+    MatrixTraffic,
+    SyntheticTraffic,
+    TraceTraffic,
+)
+from repro.traffic.parsec import (
+    PARSEC_NAMES,
+    PARSEC_WORKLOADS,
+    WorkloadModel,
+    memory_controller_nodes,
+    parsec_traffic,
+    workload_gamma,
+)
+
+__all__ = [
+    "PAPER_PATTERNS",
+    "PATTERNS",
+    "BitComplement",
+    "BitReverse",
+    "Hotspot",
+    "Neighbor",
+    "Pattern",
+    "Shuffle",
+    "Tornado",
+    "Transpose",
+    "UniformRandom",
+    "make_pattern",
+    "pattern_matrix",
+    "PacketSizeSampler",
+    "CombinedTraffic",
+    "MatrixTraffic",
+    "SyntheticTraffic",
+    "TraceTraffic",
+    "PARSEC_NAMES",
+    "PARSEC_WORKLOADS",
+    "WorkloadModel",
+    "memory_controller_nodes",
+    "parsec_traffic",
+    "workload_gamma",
+]

@@ -1,0 +1,39 @@
+"""Packet-size sampling from a :class:`~repro.core.latency.PacketMix`.
+
+The analytical model only needs the mix's expected serialization; the
+simulator needs concrete sizes per packet, drawn here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import PacketMix
+from repro.util.rngtools import ensure_rng
+
+
+class PacketSizeSampler:
+    """Draws packet sizes i.i.d. according to the mix fractions."""
+
+    def __init__(self, mix: PacketMix | None = None):
+        self.mix = mix or PacketMix.paper_default()
+        self._sizes = np.array(self.mix.sizes())
+        self._cdf = np.cumsum(self.mix.fractions())
+
+    def sample(self, rng) -> int:
+        """One packet size in bits."""
+        gen = ensure_rng(rng)
+        idx = int(np.searchsorted(self._cdf, gen.random(), side="right"))
+        idx = min(idx, len(self._sizes) - 1)
+        return int(self._sizes[idx])
+
+    def sample_many(self, count: int, rng) -> np.ndarray:
+        """``count`` packet sizes at once (vectorized)."""
+        gen = ensure_rng(rng)
+        idx = np.searchsorted(self._cdf, gen.random(count), side="right")
+        idx = np.minimum(idx, len(self._sizes) - 1)
+        return self._sizes[idx]
+
+    def expected_flits(self, flit_bits: int) -> float:
+        """Mean flits per packet at the given width."""
+        return self.mix.serialization_cycles(flit_bits)

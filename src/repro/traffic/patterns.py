@@ -1,0 +1,199 @@
+"""Synthetic traffic patterns (Section 5.4 and the classics).
+
+Each pattern maps a source node to a destination on an ``n x n`` mesh.
+The paper evaluates uniform random (UR), transpose (TP) and bit-reverse
+(BR); the usual companions (bit-complement, shuffle, tornado, neighbor,
+hotspot) are included for the extended benchmark sweeps.
+
+Patterns are small callable objects: ``pattern(src, rng) -> dst or
+None`` (``None`` means the source generates no traffic under this
+pattern, e.g. transpose's diagonal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.rngtools import ensure_rng
+
+
+class Pattern:
+    """Base class: deterministic or stochastic destination choice."""
+
+    name = "abstract"
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ConfigurationError("patterns need n >= 2")
+        self.n = n
+        self.num_nodes = n * n
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        raise NotImplementedError
+
+    def _coords(self, node: int):
+        return node % self.n, node // self.n
+
+    def _node(self, x: int, y: int) -> int:
+        return y * self.n + x
+
+
+class UniformRandom(Pattern):
+    """UR: every other node equally likely."""
+
+    name = "uniform_random"
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        dst = int(rng.integers(self.num_nodes - 1))
+        return dst if dst < src else dst + 1
+
+
+class Transpose(Pattern):
+    """TP: ``(x, y) -> (y, x)``; diagonal nodes stay silent."""
+
+    name = "transpose"
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        x, y = self._coords(src)
+        dst = self._node(y, x)
+        return None if dst == src else dst
+
+
+class BitReverse(Pattern):
+    """BR: reverse the bits of the node id (requires power-of-two N)."""
+
+    name = "bit_reverse"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        bits = (self.num_nodes - 1).bit_length()
+        if 1 << bits != self.num_nodes:
+            raise ConfigurationError("bit_reverse requires a power-of-two node count")
+        self.bits = bits
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        r = 0
+        v = src
+        for _ in range(self.bits):
+            r = (r << 1) | (v & 1)
+            v >>= 1
+        return None if r == src else r
+
+
+class BitComplement(Pattern):
+    """BC: destination is the bitwise complement of the source id."""
+
+    name = "bit_complement"
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        dst = (~src) & (self.num_nodes - 1)
+        return None if dst == src else dst
+
+
+class Shuffle(Pattern):
+    """Perfect shuffle: rotate the id's bits left by one."""
+
+    name = "shuffle"
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        bits = (self.num_nodes - 1).bit_length()
+        if 1 << bits != self.num_nodes:
+            raise ConfigurationError("shuffle requires a power-of-two node count")
+        self.bits = bits
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        top = (src >> (self.bits - 1)) & 1
+        dst = ((src << 1) | top) & (self.num_nodes - 1)
+        return None if dst == src else dst
+
+
+class Tornado(Pattern):
+    """Tornado: half-way around each dimension."""
+
+    name = "tornado"
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        x, y = self._coords(src)
+        shift = max(self.n // 2 - 1, 1)
+        dst = self._node((x + shift) % self.n, y)
+        return None if dst == src else dst
+
+
+class Neighbor(Pattern):
+    """Nearest neighbor: ``(x + 1 mod n, y)``."""
+
+    name = "neighbor"
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        x, y = self._coords(src)
+        dst = self._node((x + 1) % self.n, y)
+        return None if dst == src else dst
+
+
+class Hotspot(Pattern):
+    """A fraction of traffic targets fixed hotspot nodes, rest uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, n: int, hotspots: Sequence[int] | None = None, fraction: float = 0.2):
+        super().__init__(n)
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("hotspot fraction must be in [0, 1]")
+        self.hotspots = tuple(hotspots) if hotspots else (0, self.num_nodes - 1)
+        for h in self.hotspots:
+            if not 0 <= h < self.num_nodes:
+                raise ConfigurationError(f"hotspot {h} out of range")
+        self.fraction = fraction
+        self._uniform = UniformRandom(n)
+
+    def __call__(self, src: int, rng) -> Optional[int]:
+        if rng.random() < self.fraction:
+            dst = self.hotspots[int(rng.integers(len(self.hotspots)))]
+            if dst != src:
+                return dst
+        return self._uniform(src, rng)
+
+
+#: Registry used by the harness and examples; the paper's three are
+#: ``uniform_random``, ``transpose`` and ``bit_reverse``.
+PATTERNS: Dict[str, Callable[[int], Pattern]] = {
+    "uniform_random": UniformRandom,
+    "transpose": Transpose,
+    "bit_reverse": BitReverse,
+    "bit_complement": BitComplement,
+    "shuffle": Shuffle,
+    "tornado": Tornado,
+    "neighbor": Neighbor,
+    "hotspot": Hotspot,
+}
+
+PAPER_PATTERNS = ("uniform_random", "transpose", "bit_reverse")
+
+
+def make_pattern(name: str, n: int, **kwargs) -> Pattern:
+    """Instantiate a registered pattern by name."""
+    try:
+        factory = PATTERNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pattern {name!r}; known: {sorted(PATTERNS)}"
+        ) from None
+    return factory(n, **kwargs) if kwargs else factory(n)
+
+
+def pattern_matrix(pattern: Pattern, samples_per_node: int = 256, rng=None) -> np.ndarray:
+    """Empirical ``gamma`` matrix of a pattern (for the app-aware optimizer)."""
+    gen = ensure_rng(rng)
+    num = pattern.num_nodes
+    gamma = np.zeros((num, num))
+    for src in range(num):
+        for _ in range(samples_per_node):
+            dst = pattern(src, gen)
+            if dst is not None:
+                gamma[src, dst] += 1.0
+    total = gamma.sum()
+    return gamma / total if total > 0 else gamma

@@ -1,0 +1,17 @@
+"""Shared utilities: error types, RNG helpers, small numeric tools."""
+
+from repro.util.errors import (
+    ReproError,
+    InvalidPlacementError,
+    ConfigurationError,
+    SimulationError,
+)
+from repro.util.rngtools import ensure_rng
+
+__all__ = [
+    "ReproError",
+    "InvalidPlacementError",
+    "ConfigurationError",
+    "SimulationError",
+    "ensure_rng",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidPlacementError(ReproError):
+    """An express-link placement violates a structural constraint.
+
+    Raised when a placement is missing local links, contains an
+    out-of-range or self link, or exceeds the cross-section link limit
+    ``C`` (Eq. 3 of the paper).
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Examples: a link limit that is not a positive divisor of the base
+    flit width, a non power-of-two flit size, or a simulator config with
+    zero virtual channels.
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulator detected an internal inconsistency.
+
+    This signals a conservation-law violation (lost flit, negative
+    credit) or a deadlock watchdog trip -- always a bug, never a normal
+    outcome.
+    """

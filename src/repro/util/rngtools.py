@@ -1,0 +1,31 @@
+"""Random-number-generator helpers.
+
+All stochastic components of the library (simulated annealing, traffic
+injection) accept either a seed or a ``numpy.random.Generator`` so that
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def ensure_rng(rng: "int | None | np.random.Generator") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, or
+        an existing generator (returned unchanged so callers can share
+        one stream across components).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected seed, Generator, or None; got {type(rng).__name__}")

@@ -1,0 +1,57 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.annealing import AnnealingParams
+from repro.topology.row import RowPlacement
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def row_placements(draw, min_n: int = 3, max_n: int = 10, max_links: int = 8):
+    """Arbitrary valid RowPlacements (no cross-section limit applied)."""
+    n = draw(st.integers(min_n, max_n))
+    num_links = draw(st.integers(0, max_links))
+    links = set()
+    for _ in range(num_links):
+        i = draw(st.integers(0, n - 3))
+        j = draw(st.integers(i + 2, n - 1))
+        links.add((i, j))
+    return RowPlacement(n, frozenset(links))
+
+
+@st.composite
+def limited_row_placements(draw, min_n: int = 3, max_n: int = 10, max_limit: int = 5):
+    """(placement, limit) pairs where the placement satisfies the limit."""
+    n = draw(st.integers(min_n, max_n))
+    limit = draw(st.integers(2, max_limit))
+    placement = RowPlacement.mesh(n)
+    for _ in range(draw(st.integers(0, 10))):
+        i = draw(st.integers(0, n - 3))
+        j = draw(st.integers(i + 2, n - 1))
+        candidate = placement.with_link(i, j)
+        if candidate.satisfies_limit(limit):
+            placement = candidate
+    return placement, limit
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quick_sa():
+    """A fast annealing schedule for tests."""
+    return AnnealingParams(total_moves=300, moves_per_cooldown=100)

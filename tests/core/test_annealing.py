@@ -1,0 +1,119 @@
+"""Simulated annealing engine tests (Section 4.4, Table 1)."""
+
+import math
+
+import pytest
+
+from repro.core.annealing import (
+    AnnealingParams,
+    MemoizedObjective,
+    anneal,
+)
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective, mean_row_head_latency
+from repro.topology.row import RowPlacement
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        p = AnnealingParams()
+        assert p.initial_temperature == 10.0
+        assert p.total_moves == 10_000
+        assert p.cooldown_scale == 2.0
+        assert p.moves_per_cooldown == 1_000
+
+    def test_temperature_schedule(self):
+        p = AnnealingParams()
+        assert p.temperature(0) == 10.0
+        assert p.temperature(999) == 10.0
+        assert p.temperature(1_000) == 5.0
+        assert p.temperature(3_500) == pytest.approx(10.0 / 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingParams(initial_temperature=0)
+        with pytest.raises(ValueError):
+            AnnealingParams(cooldown_scale=1.0)
+        with pytest.raises(ValueError):
+            AnnealingParams(moves_per_cooldown=0)
+        with pytest.raises(ValueError):
+            AnnealingParams(total_moves=-1)
+
+
+class TestMemoizedObjective:
+    def test_counts_unique_evaluations(self):
+        memo = MemoizedObjective(RowObjective())
+        p = RowPlacement.mesh(6)
+        memo(p)
+        memo(p)
+        assert memo.evaluations == 1
+        assert memo.calls == 2
+
+    def test_cache_correctness(self):
+        memo = MemoizedObjective(RowObjective())
+        p = RowPlacement(6, frozenset({(0, 3)}))
+        assert memo(p) == pytest.approx(RowObjective()(p))
+
+
+class TestAnneal:
+    def test_degenerate_space_returns_mesh(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.zeros(8, 1), RowObjective(), quick_sa, rng)
+        assert result.best_placement == RowPlacement.mesh(8)
+        assert result.accepted_moves == 0
+
+    def test_improves_from_mesh(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, rng)
+        mesh_energy = mean_row_head_latency(RowPlacement.mesh(8))
+        assert result.best_energy < mesh_energy
+
+    def test_best_energy_matches_best_placement(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, rng)
+        assert result.best_energy == pytest.approx(
+            mean_row_head_latency(result.best_placement)
+        )
+
+    def test_best_placement_is_valid(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.random(8, 4, rng), RowObjective(), quick_sa, rng)
+        result.best_placement.validate(4)
+
+    def test_trace_is_monotone_nonincreasing(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, rng)
+        energies = [e for _, e in result.trace]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+    def test_evaluation_budget_respected(self, rng):
+        params = AnnealingParams(total_moves=5_000, moves_per_cooldown=1_000)
+        result = anneal(
+            ConnectionMatrix.zeros(8, 4),
+            RowObjective(),
+            params,
+            rng,
+            max_evaluations=25,
+        )
+        assert result.evaluations <= 26  # initial + budget boundary
+
+    def test_initial_matrix_not_mutated(self, quick_sa, rng):
+        m = ConnectionMatrix.zeros(8, 4)
+        anneal(m, RowObjective(), quick_sa, rng)
+        assert m == ConnectionMatrix.zeros(8, 4)
+
+    def test_small_instance_reaches_optimum(self, rng):
+        # P~(4, 2) has 4 matrices; SA must find the best quickly.
+        params = AnnealingParams(total_moves=100, moves_per_cooldown=50)
+        result = anneal(ConnectionMatrix.zeros(4, 2), RowObjective(), params, rng)
+        from repro.core.branch_bound import exhaustive_matrix_search
+
+        exact = exhaustive_matrix_search(4, 2, RowObjective())
+        assert result.best_energy == pytest.approx(exact.energy)
+
+    def test_deterministic_given_seed(self, quick_sa):
+        import numpy as np
+
+        r1 = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, np.random.default_rng(5))
+        r2 = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, np.random.default_rng(5))
+        assert r1.best_energy == r2.best_energy
+        assert r1.best_placement == r2.best_placement
+
+    def test_improvement_property(self, quick_sa, rng):
+        result = anneal(ConnectionMatrix.zeros(8, 4), RowObjective(), quick_sa, rng)
+        assert 0 <= result.improvement < 1

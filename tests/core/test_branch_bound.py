@@ -1,0 +1,93 @@
+"""Exact-solver tests: exhaustive enumeration vs branch and bound."""
+
+import pytest
+
+from repro.core.branch_bound import (
+    branch_and_bound,
+    effective_link_limit,
+    exhaustive_matrix_search,
+)
+from repro.core.latency import RowObjective, mean_row_head_latency
+from repro.topology.row import RowPlacement
+
+
+class TestEffectiveLimit:
+    def test_clamps_to_full_connectivity(self):
+        assert effective_link_limit(4, 64) == 4
+        assert effective_link_limit(8, 64) == 16
+        assert effective_link_limit(8, 2) == 2
+
+
+class TestExhaustive:
+    def test_beats_or_equals_mesh(self):
+        result = exhaustive_matrix_search(6, 2, RowObjective())
+        assert result.energy <= mean_row_head_latency(RowPlacement.mesh(6))
+
+    def test_valid_result(self):
+        result = exhaustive_matrix_search(6, 3, RowObjective())
+        result.placement.validate(3)
+
+    def test_c1_trivial(self):
+        result = exhaustive_matrix_search(6, 1, RowObjective())
+        assert result.placement == RowPlacement.mesh(6)
+
+    def test_known_optimum_p42(self):
+        # P~(4, 2): the single express link (0,2) or (1,3) is optimal:
+        # dist matrix mean drops from 4*avg|i-j| accordingly.
+        result = exhaustive_matrix_search(4, 2, RowObjective())
+        assert result.placement.express_links in (
+            frozenset({(0, 2)}),
+            frozenset({(1, 3)}),
+            frozenset({(0, 3)}),
+        )
+
+    def test_dedup_reduces_evaluations(self):
+        result = exhaustive_matrix_search(8, 3, RowObjective())
+        assert result.evaluations < result.states_visited
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("n,c", [(4, 2), (5, 2), (6, 2), (6, 3), (8, 2)])
+    def test_agrees_with_exhaustive(self, n, c):
+        obj = RowObjective()
+        exact = exhaustive_matrix_search(n, c, obj)
+        bb = branch_and_bound(n, c, obj)
+        assert bb.energy == pytest.approx(exact.energy)
+
+    def test_valid_result(self):
+        result = branch_and_bound(8, 3, RowObjective())
+        result.placement.validate(3)
+
+    def test_max_states_aborts_gracefully(self):
+        result = branch_and_bound(8, 4, RowObjective(), max_states=10)
+        # Still returns *a* valid placement, possibly suboptimal.
+        result.placement.validate(4)
+
+
+class TestFigure12Instances:
+    """The paper's exact-comparison instances (small ones in unit tests;
+    P(8,4)/P(16,2) run in the benchmark suite)."""
+
+    def test_p42_dc_sa_matches_optimal(self):
+        from repro.core.optimizer import solve_row_problem
+
+        obj = RowObjective()
+        exact = exhaustive_matrix_search(4, 2, obj)
+        dc = solve_row_problem(4, 2, method="dc_sa", objective=obj, rng=3)
+        assert dc.energy == pytest.approx(exact.energy)
+
+    def test_p82_dc_sa_matches_optimal(self):
+        from repro.core.annealing import AnnealingParams
+        from repro.core.optimizer import solve_row_problem
+
+        obj = RowObjective()
+        exact = exhaustive_matrix_search(8, 2, obj)
+        dc = solve_row_problem(
+            8,
+            2,
+            method="dc_sa",
+            objective=obj,
+            params=AnnealingParams(total_moves=2_000, moves_per_cooldown=500),
+            rng=3,
+        )
+        assert dc.energy == pytest.approx(exact.energy)

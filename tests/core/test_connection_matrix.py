@@ -1,0 +1,172 @@
+"""Connection-matrix codec tests (Section 4.4.2, Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connection_matrix import ConnectionMatrix, enumerate_matrices
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError, InvalidPlacementError
+
+from tests.conftest import limited_row_placements
+
+
+@st.composite
+def matrices(draw, min_n=3, max_n=10, max_limit=5):
+    n = draw(st.integers(min_n, max_n))
+    limit = draw(st.integers(1, max_limit))
+    shape = ConnectionMatrix.shape(n, limit)
+    bits = np.array(
+        draw(st.lists(st.booleans(), min_size=shape[0] * shape[1], max_size=shape[0] * shape[1]))
+    ).reshape(shape)
+    return ConnectionMatrix(n, limit, bits)
+
+
+class TestShape:
+    def test_shape_formula(self):
+        assert ConnectionMatrix.shape(8, 4) == (6, 3)
+        assert ConnectionMatrix.shape(2, 4) == (0, 3)
+        assert ConnectionMatrix.shape(8, 1) == (6, 0)
+
+    def test_zeros_decodes_to_mesh(self):
+        m = ConnectionMatrix.zeros(8, 4)
+        assert m.decode() == RowPlacement.mesh(8)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionMatrix(8, 4, np.zeros((5, 3), dtype=bool))
+
+
+class TestDecode:
+    def test_paper_figure2_layer(self):
+        # Figure 2 layer: connected at routers 3,5,6,7 (1-based interior
+        # routers 2..7 are our bit rows 0..5) -> links 2-4 and 4-8
+        # (1-based) = (1,3) and (3,7) 0-based; the 1-2 run is dropped.
+        bits = np.zeros((6, 1), dtype=bool)
+        for router_1based in (3, 5, 6, 7):
+            bits[router_1based - 2, 0] = True
+        m = ConnectionMatrix(8, 2, bits)
+        assert m.decode().express_links == frozenset({(1, 3), (3, 7)})
+
+    def test_all_connected_layer_is_one_long_link(self):
+        bits = np.ones((6, 1), dtype=bool)
+        m = ConnectionMatrix(8, 2, bits)
+        assert m.decode().express_links == frozenset({(0, 7)})
+
+    def test_unit_segments_dropped(self):
+        # No connected interior points: every segment has length 1.
+        m = ConnectionMatrix.zeros(8, 4)
+        assert len(m.decode().express_links) == 0
+
+    def test_layer_links_view(self):
+        bits = np.zeros((6, 2), dtype=bool)
+        bits[0, 0] = True  # router 1 connected on layer 0 -> link (0, 2)
+        m = ConnectionMatrix(8, 3, bits)
+        assert m.layer_links(0) == ((0, 2),)
+        assert m.layer_links(1) == ()
+
+    def test_tiny_rows(self):
+        assert ConnectionMatrix.zeros(2, 4).decode() == RowPlacement.mesh(2)
+        bits = np.ones((1, 1), dtype=bool)
+        assert ConnectionMatrix(3, 2, bits).decode().express_links == frozenset({(0, 2)})
+
+
+class TestEncode:
+    def test_round_trip_simple(self):
+        p = RowPlacement(8, frozenset({(1, 3), (3, 7)}))
+        m = ConnectionMatrix.from_placement(p, 2)
+        assert m.decode() == p
+
+    def test_touching_links_share_layer(self):
+        p = RowPlacement(8, frozenset({(0, 3), (3, 6)}))
+        m = ConnectionMatrix.from_placement(p, 2)  # needs only 1 layer
+        assert m.decode() == p
+
+    def test_overlapping_links_need_layers(self):
+        p = RowPlacement(8, frozenset({(0, 4), (2, 6)}))
+        with pytest.raises(InvalidPlacementError):
+            ConnectionMatrix.from_placement(p, 2)  # 1 layer insufficient
+        m = ConnectionMatrix.from_placement(p, 3)
+        assert m.decode() == p
+
+    def test_limit_violation_rejected(self):
+        p = RowPlacement.fully_connected(8)
+        with pytest.raises(InvalidPlacementError):
+            ConnectionMatrix.from_placement(p, 4)
+
+
+class TestMoves:
+    def test_flip_is_involution(self):
+        m = ConnectionMatrix.zeros(8, 4)
+        m.flip(2, 1)
+        assert m.bits[2, 1]
+        m.flip(2, 1)
+        assert not m.bits[2, 1]
+
+    def test_random_move_in_range(self, rng):
+        m = ConnectionMatrix.zeros(8, 4)
+        for _ in range(50):
+            r, l = m.random_move(rng)
+            assert 0 <= r < 6 and 0 <= l < 3
+
+    def test_no_moves_when_degenerate(self, rng):
+        with pytest.raises(ConfigurationError):
+            ConnectionMatrix.zeros(8, 1).random_move(rng)
+
+    def test_copy_is_independent(self):
+        m = ConnectionMatrix.zeros(8, 4)
+        c = m.copy()
+        c.flip(0, 0)
+        assert not m.bits[0, 0]
+
+    def test_equality(self):
+        assert ConnectionMatrix.zeros(8, 4) == ConnectionMatrix.zeros(8, 4)
+        other = ConnectionMatrix.zeros(8, 4)
+        other.flip(0, 0)
+        assert ConnectionMatrix.zeros(8, 4) != other
+
+
+class TestEnumerate:
+    def test_counts(self):
+        # P~(4, 2): (n-2)(C-1) = 2 bits -> 4 matrices.
+        assert len(list(enumerate_matrices(4, 2))) == 4
+
+    def test_refuses_huge_spaces(self):
+        with pytest.raises(ConfigurationError):
+            list(enumerate_matrices(16, 4))
+
+    def test_covers_all_single_layer_placements(self):
+        placements = {m.decode() for m in enumerate_matrices(6, 2)}
+        # Every placement representable with one express layer appears.
+        assert RowPlacement.mesh(6) in placements
+        assert RowPlacement(6, frozenset({(0, 5)})) in placements
+        assert RowPlacement(6, frozenset({(0, 2), (2, 4)})) in placements
+
+
+@settings(max_examples=80, deadline=None)
+@given(matrices())
+def test_decode_always_valid(m):
+    """The key search-space property: every matrix decodes validly."""
+    p = m.decode()
+    assert p.n == m.n
+    p.validate(m.link_limit)  # never raises
+
+
+@settings(max_examples=60, deadline=None)
+@given(limited_row_placements())
+def test_encode_decode_round_trip(pl):
+    placement, limit = pl
+    m = ConnectionMatrix.from_placement(placement, limit)
+    assert m.decode() == placement
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(max_n=8, max_limit=4))
+def test_single_flip_stays_valid(m):
+    if m.num_connection_points == 0:
+        return
+    rng = np.random.default_rng(7)
+    r, l = m.random_move(rng)
+    m.flip(r, l)
+    m.decode().validate(m.link_limit)

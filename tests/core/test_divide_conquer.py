@@ -1,0 +1,67 @@
+"""Tests for the divide-and-conquer initial solution I(n, C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.branch_bound import exhaustive_matrix_search
+from repro.core.divide_conquer import initial_solution
+from repro.core.latency import RowObjective, mean_row_head_latency
+from repro.topology.row import RowPlacement
+
+
+class TestBaseCases:
+    def test_c1_is_mesh(self):
+        sol = initial_solution(8, 1, RowObjective())
+        assert sol.placement == RowPlacement.mesh(8)
+
+    def test_tiny_row_is_mesh(self):
+        sol = initial_solution(2, 4, RowObjective())
+        assert sol.placement == RowPlacement.mesh(2)
+
+    def test_base_case_is_optimal(self):
+        # n <= 4 goes through exact enumeration.
+        sol = initial_solution(4, 2, RowObjective())
+        exact = exhaustive_matrix_search(4, 2, RowObjective())
+        assert sol.energy == pytest.approx(exact.energy)
+
+
+class TestRecursive:
+    @pytest.mark.parametrize("n,c", [(8, 2), (8, 3), (8, 4), (16, 2), (16, 4)])
+    def test_valid_and_beats_mesh(self, n, c):
+        sol = initial_solution(n, c, RowObjective())
+        sol.placement.validate(c)
+        assert sol.energy < mean_row_head_latency(RowPlacement.mesh(n))
+
+    def test_energy_consistent(self):
+        sol = initial_solution(8, 4, RowObjective())
+        assert sol.energy == pytest.approx(mean_row_head_latency(sol.placement))
+
+    def test_close_to_optimal_8_4(self):
+        sol = initial_solution(8, 4, RowObjective())
+        exact = exhaustive_matrix_search(8, 4, RowObjective())
+        # The seed alone should land within 15% of optimal.
+        assert sol.energy <= exact.energy * 1.15
+
+    def test_counts_evaluations(self):
+        sol = initial_solution(8, 4, RowObjective())
+        assert sol.evaluations > 0
+
+    def test_larger_budget_no_worse(self):
+        # More layers can only help (weak monotonicity in C).
+        e2 = initial_solution(8, 2, RowObjective()).energy
+        e4 = initial_solution(8, 4, RowObjective()).energy
+        assert e4 <= e2 + 1e-9
+
+    def test_big_limit_clamped(self):
+        # C beyond full connectivity must not blow up the base case.
+        sol = initial_solution(8, 64, RowObjective())
+        sol.placement.validate(16)  # C_full(8) = 16
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(5, 12), st.integers(2, 4))
+def test_arbitrary_sizes_valid(n, c):
+    sol = initial_solution(n, c, RowObjective())
+    sol.placement.validate(c)
+    assert sol.energy <= mean_row_head_latency(RowPlacement.mesh(n)) + 1e-9

@@ -1,0 +1,70 @@
+"""Golden regression anchors: known-optimal energies for small instances.
+
+Values computed by exhaustive enumeration (and cross-checked by branch
+and bound); any change to the latency model, the matrix decoding, or
+the Floyd-Warshall evaluator that shifts these is a regression.
+Energies are mean row head latencies over all ordered pairs including
+the zero diagonal (Eq. 2 normalization), with Tr = 3, Tl = 1.
+"""
+
+import pytest
+
+from repro.core.branch_bound import exhaustive_matrix_search
+from repro.core.latency import (
+    RowObjective,
+    mean_row_head_latency,
+    network_average_latency,
+)
+from repro.topology.flattened_butterfly import hybrid_flattened_butterfly_row
+from repro.topology.row import RowPlacement
+
+#: (n, C) -> optimal mean row head latency.
+GOLDEN_OPTIMA = {
+    (4, 2): 4.25,
+    (4, 4): 3.5,
+    (5, 2): 4.96,
+    (6, 2): 6.111111111111111,
+    (6, 3): 5.611111111111111,
+    (8, 2): 7.6875,
+    (8, 3): 7.03125,
+    (8, 4): 6.5625,
+}
+
+
+@pytest.mark.parametrize("instance,energy", sorted(GOLDEN_OPTIMA.items()))
+def test_optimal_energies(instance, energy):
+    n, c = instance
+    result = exhaustive_matrix_search(n, c, RowObjective())
+    assert result.energy == pytest.approx(energy)
+
+
+class TestClosedForms:
+    def test_mesh_row_means(self):
+        # Mesh row mean = 4 * (n^2 - 1) / (3n).
+        for n in (4, 8, 16):
+            expected = 4.0 * (n * n - 1) / (3.0 * n)
+            assert mean_row_head_latency(RowPlacement.mesh(n)) == pytest.approx(expected)
+
+    def test_mesh_8x8_paper_baseline(self):
+        b = network_average_latency(RowPlacement.mesh(8), 1)
+        assert b.head == pytest.approx(21.0)
+        assert b.serialization == pytest.approx(1.2)
+
+    def test_hfb_8x8_design_point(self):
+        row = hybrid_flattened_butterfly_row(8)
+        b = network_average_latency(row, 4)
+        assert b.head == pytest.approx(15.0)
+        assert b.serialization == pytest.approx(0.2 * 8 + 0.8 * 2)
+
+    def test_fully_connected_row_mean(self):
+        # All pairs one hop: mean = sum over pairs of (3 + |i-j|) / n^2.
+        n = 4
+        total = sum(3 + abs(i - j) for i in range(n) for j in range(n) if i != j)
+        assert mean_row_head_latency(RowPlacement.fully_connected(n)) == pytest.approx(
+            total / (n * n)
+        )
+
+    def test_figure2_optimum_value(self):
+        # The paper's worked example P~(8,4): optimal 2D head latency
+        # 2 * 6.5625 = 13.125 cycles in our model.
+        assert GOLDEN_OPTIMA[(8, 4)] * 2 == pytest.approx(13.125)

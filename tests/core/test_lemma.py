@@ -1,0 +1,77 @@
+"""Empirical verification of the paper's Section 4.2 lemma (Eq. 5).
+
+The lemma: under dimension-order routing with one row placement
+replicated across all rows and columns, the 2D all-pairs average head
+latency equals twice the 1D row average.  We verify it the expensive
+way -- enumerating every 2D route through the actual routing tables --
+against the cheap formula the optimizer uses, for arbitrary placements.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.latency import (
+    mean_row_head_latency,
+    mesh_average_head_latency_2d,
+    worst_case_head_latency_2d,
+)
+from repro.routing.dor import route_head_latency
+from repro.routing.tables import RoutingTables
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+from tests.conftest import row_placements
+
+
+def brute_force_2d_average(placement: RowPlacement) -> float:
+    """All-pairs mean head latency by walking every actual 2D route."""
+    topo = MeshTopology.uniform(placement)
+    tables = RoutingTables.build(topo)
+    num = topo.num_nodes
+    total = 0.0
+    for src in range(num):
+        for dst in range(num):
+            if src != dst:
+                total += route_head_latency(tables, src, dst)
+    return total / (num * num)  # Eq. 2 normalization (self pairs = 0)
+
+
+def brute_force_2d_worst(placement: RowPlacement) -> float:
+    topo = MeshTopology.uniform(placement)
+    tables = RoutingTables.build(topo)
+    num = topo.num_nodes
+    return max(
+        route_head_latency(tables, s, d)
+        for s in range(num)
+        for d in range(num)
+        if s != d
+    )
+
+
+class TestLemmaKnownCases:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_mesh(self, n):
+        p = RowPlacement.mesh(n)
+        assert brute_force_2d_average(p) == pytest.approx(
+            2 * mean_row_head_latency(p)
+        )
+
+    def test_express_placement(self):
+        p = RowPlacement(6, frozenset({(0, 3), (2, 5)}))
+        assert brute_force_2d_average(p) == pytest.approx(
+            mesh_average_head_latency_2d(p)
+        )
+
+    def test_worst_case_decomposes(self):
+        p = RowPlacement(5, frozenset({(0, 4)}))
+        assert brute_force_2d_worst(p) == pytest.approx(
+            worst_case_head_latency_2d(p)
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(row_placements(min_n=3, max_n=5, max_links=4))
+def test_lemma_holds_for_arbitrary_placements(p):
+    assert brute_force_2d_average(p) == pytest.approx(
+        2 * mean_row_head_latency(p)
+    )

@@ -1,0 +1,80 @@
+"""Tests for the naive-move SA baseline (the Section 4.4.2 strawman)."""
+
+import pytest
+
+from repro.core.annealing import AnnealingParams, anneal
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective, mean_row_head_latency
+from repro.core.naive_annealing import _propose, naive_anneal
+from repro.topology.row import RowPlacement
+from repro.util.rngtools import ensure_rng
+
+QUICK = AnnealingParams(total_moves=600, moves_per_cooldown=200)
+
+
+class TestPropose:
+    def test_never_returns_invalid(self):
+        rng = ensure_rng(0)
+        placement = RowPlacement.mesh(8)
+        for _ in range(500):
+            candidate = _propose(placement, 3, rng)
+            if candidate is not None:
+                candidate.validate(3)
+                placement = candidate
+
+    def test_rejects_at_tight_limit(self):
+        # At C=1 no express link fits: every add proposal is invalid.
+        rng = ensure_rng(1)
+        rejections = sum(
+            _propose(RowPlacement.mesh(8), 1, rng) is None for _ in range(200)
+        )
+        assert rejections == 200
+
+    def test_can_delete(self):
+        rng = ensure_rng(2)
+        p = RowPlacement(8, frozenset({(0, 4)}))
+        saw_delete = False
+        for _ in range(300):
+            candidate = _propose(p, 4, rng)
+            if candidate is not None and len(candidate.express_links) == 0:
+                saw_delete = True
+                break
+        assert saw_delete
+
+
+class TestNaiveAnneal:
+    def test_improves_from_mesh(self):
+        result = naive_anneal(8, 4, RowObjective(), QUICK, rng=3)
+        assert result.best_energy < mean_row_head_latency(RowPlacement.mesh(8))
+
+    def test_result_valid(self):
+        result = naive_anneal(8, 4, RowObjective(), QUICK, rng=3)
+        result.best_placement.validate(4)
+
+    def test_counts_invalid_moves(self):
+        result = naive_anneal(8, 2, RowObjective(), QUICK, rng=3)
+        assert result.invalid_moves > 0
+        assert 0 < result.invalid_fraction < 1
+
+    def test_wastes_more_moves_at_tighter_limits(self):
+        loose = naive_anneal(8, 8, RowObjective(), QUICK, rng=3)
+        tight = naive_anneal(8, 2, RowObjective(), QUICK, rng=3)
+        assert tight.invalid_fraction > loose.invalid_fraction
+
+    def test_matrix_sa_no_worse_at_equal_evaluations(self):
+        # The paper's claim: the connection-matrix generator wastes no
+        # moves, so at an equal *evaluation* budget it should be at
+        # least as good as the naive generator (and typically reaches
+        # the optimum here).
+        objective = RowObjective()
+        budget = 150
+        naive = naive_anneal(
+            8, 4, objective, AnnealingParams(total_moves=10_000, moves_per_cooldown=1_000),
+            rng=5, max_evaluations=budget,
+        )
+        matrix = anneal(
+            ConnectionMatrix.zeros(8, 4), objective,
+            AnnealingParams(total_moves=10_000, moves_per_cooldown=1_000),
+            rng=5, max_evaluations=budget,
+        )
+        assert matrix.best_energy <= naive.best_energy + 0.15

@@ -1,0 +1,63 @@
+"""Reference-design construction tests."""
+
+import pytest
+
+from repro.harness.designs import (
+    EFFORTS,
+    dc_sa_design,
+    hfb_design,
+    mesh_design,
+    only_sa_design,
+    optimized_sweep,
+    reference_designs,
+)
+
+
+class TestFixedDesigns:
+    def test_mesh_design(self):
+        d = mesh_design(8)
+        assert d.name == "Mesh"
+        assert d.point.link_limit == 1
+        assert d.point.flit_bits == 256
+
+    def test_hfb_design_8(self):
+        d = hfb_design(8)
+        assert d.point.link_limit == 4
+        assert d.point.flit_bits == 64
+
+    def test_hfb_design_4_is_fb(self):
+        d = hfb_design(4)
+        assert d.point.link_limit == 4
+        # Fully connected row.
+        assert len(d.point.placement.express_links) == 3
+
+
+class TestOptimizedDesigns:
+    def test_sweep_cached(self):
+        a = optimized_sweep(4, "dc_sa", seed=1, effort="smoke")
+        b = optimized_sweep(4, "dc_sa", seed=1, effort="smoke")
+        assert a is b
+
+    def test_dc_sa_beats_mesh(self):
+        d = dc_sa_design(8, seed=1, effort="quick")
+        assert d.point.total_latency < mesh_design(8).point.total_latency
+
+    def test_only_sa_valid(self):
+        d = only_sa_design(4, seed=1, effort="smoke")
+        d.point.placement.validate(d.point.link_limit)
+
+    def test_reference_designs_order(self):
+        designs = reference_designs(4, seed=1, effort="smoke")
+        assert [d.name for d in designs] == ["Mesh", "HFB", "D&C_SA"]
+
+    def test_reference_designs_with_only_sa(self):
+        designs = reference_designs(4, seed=1, effort="smoke", include_only_sa=True)
+        assert [d.name for d in designs] == ["Mesh", "HFB", "OnlySA", "D&C_SA"]
+
+    def test_efforts_registered(self):
+        assert {"paper", "quick", "smoke"} <= set(EFFORTS)
+
+    def test_topology_matches_placement(self):
+        d = dc_sa_design(4, seed=1, effort="smoke")
+        topo = d.topology
+        assert topo.row_placements[0] == d.point.placement

@@ -1,0 +1,188 @@
+"""Smoke tests for every experiment driver (scaled-down parameters).
+
+The full-scale runs live in ``benchmarks/``; these tests only verify
+each driver produces a structurally sound result and a renderable
+table, using the 'smoke' effort and tiny simulation windows.
+"""
+
+import math
+
+import pytest
+
+from repro.core.annealing import AnnealingParams
+from repro.harness.appaware import app_aware
+from repro.harness.area_overhead import area_overhead
+from repro.harness.bandwidth import fig11
+from repro.harness.calibration import estimate_contention
+from repro.harness.fig5 import fig5, fig5_all, render_summary
+from repro.harness.optimal import fig12
+from repro.harness.parsec import parsec_campaign
+from repro.harness.power_static import fig10
+from repro.harness.runtime import fig7
+from repro.harness.synthetic import fig8
+from repro.harness.worstcase import table2
+
+SMOKE = dict(seed=1, effort="smoke")
+
+
+class TestFig5:
+    def test_structure(self):
+        r = fig5(4, **SMOKE)
+        assert r.limits == (1, 2, 4)
+        assert r.dc_sa_total[0] == pytest.approx(r.mesh_total)
+        assert len(r.render()) > 0
+
+    def test_head_plus_serialization_is_total(self):
+        r = fig5(4, **SMOKE)
+        for total, head, ser in zip(r.dc_sa_total, r.dc_sa_head, r.dc_sa_serialization):
+            assert total == pytest.approx(head + ser)
+
+    def test_summary_renders(self):
+        results = fig5_all(sizes=(4,), **SMOKE)
+        out = render_summary(results)
+        assert "4x4" in out
+
+
+class TestParsecCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return parsec_campaign(
+            n=4,
+            benchmarks=("canneal", "swaptions"),
+            seed=1,
+            effort="smoke",
+            warmup_cycles=100,
+            measure_cycles=300,
+        )
+
+    def test_all_cells_present(self, campaign):
+        assert set(campaign.cells) == {
+            (b, s) for b in campaign.benchmarks for s in campaign.schemes
+        }
+
+    def test_all_cells_drained(self, campaign):
+        assert all(c.drained for c in campaign.cells.values())
+
+    def test_latencies_positive(self, campaign):
+        for c in campaign.cells.values():
+            assert c.latency.avg_network_latency > 0
+
+    def test_renders(self, campaign):
+        assert "Figure 6" in campaign.render_fig6()
+        assert "Figure 9" in campaign.render_fig9()
+
+    def test_power_components_positive(self, campaign):
+        for c in campaign.cells.values():
+            assert c.power.static.total_w > 0
+            assert c.power.dynamic_w > 0
+
+
+class TestFig7:
+    def test_curves_shape(self):
+        r = fig7(6, link_limit=3, budgets=(1, 3, 10), seed=1)
+        assert len(r.dc_sa) == len(r.only_sa) == 3
+        assert r.unit_evaluations > 0
+        assert "Figure 7" in r.render()
+
+    def test_curves_monotone_nonincreasing(self):
+        r = fig7(6, link_limit=3, budgets=(1, 5, 20), seed=1)
+        for curve in (r.dc_sa, r.only_sa):
+            clean = [v for v in curve if not math.isnan(v)]
+            assert all(a >= b - 1e-12 for a, b in zip(clean, clean[1:]))
+
+
+class TestFig8:
+    def test_smoke(self):
+        r = fig8(
+            n=4,
+            patterns=("uniform_random",),
+            seed=1,
+            effort="smoke",
+            low_rate=0.3,
+            warmup=100,
+            measure=400,
+        )
+        cell = r.cells[("uniform_random", "Mesh")]
+        assert cell.latency > 0
+        assert cell.saturation_throughput > 0
+        assert "Figure 8" in r.render()
+
+    def test_mesh_throughput_not_below_hfb(self):
+        r = fig8(
+            n=4,
+            patterns=("uniform_random",),
+            seed=1,
+            effort="smoke",
+            low_rate=0.3,
+            warmup=100,
+            measure=400,
+        )
+        mesh_t = r.cells[("uniform_random", "Mesh")].saturation_throughput
+        hfb_t = r.cells[("uniform_random", "HFB")].saturation_throughput
+        assert mesh_t >= 0.8 * hfb_t  # mesh should be at least comparable
+
+
+class TestFig10:
+    def test_structure(self):
+        r = fig10(4, **SMOKE)
+        assert len(r.breakdowns) == 3
+        assert "Figure 10" in r.render()
+
+
+class TestFig11:
+    def test_bandwidth_helps_dc_sa_more(self):
+        r = fig11(n=8, base_flit_cases=(128, 512), seed=1, effort="smoke")
+        assert r.dc_sa_gain() > r.mesh_gain()
+        assert "Figure 11" in r.render()
+
+
+class TestFig12:
+    def test_small_instances(self):
+        r = fig12(
+            instances=((4, 2), (6, 2)),
+            seed=1,
+            params=AnnealingParams(total_moves=400, moves_per_cooldown=100),
+        )
+        for c in r.comparisons:
+            assert c.dc_sa_energy >= c.optimal_energy - 1e-9
+            assert c.gap_percent >= -1e-6
+        assert "Figure 12" in r.render()
+
+
+class TestTable2:
+    def test_structure(self):
+        r = table2(sizes=(4,), **SMOKE)
+        assert r.values[("Mesh", 4)] == pytest.approx(26.0)
+        assert "Table 2" in r.render()
+
+    def test_dc_sa_beats_mesh_worst_case(self):
+        r = table2(sizes=(8,), seed=1, effort="quick")
+        assert r.values[("D&C_SA", 8)] < r.values[("Mesh", 8)]
+
+
+class TestAppAware:
+    def test_aware_no_worse(self):
+        r = app_aware(
+            n=4,
+            benchmarks=("dedup",),
+            seed=1,
+            effort="smoke",
+            params=AnnealingParams(total_moves=200, moves_per_cooldown=50),
+        )
+        row = r.rows[0]
+        assert row.aware_head <= row.general_head + 1e-6
+        assert "5.6.4" in r.render()
+
+
+class TestAreaOverhead:
+    def test_under_bound(self):
+        r = area_overhead(4, **SMOKE)
+        assert r.max_overhead < 0.005
+
+
+class TestCalibration:
+    def test_contention_below_one_cycle(self):
+        cal = estimate_contention(n=4, rate=0.02, measure_cycles=600)
+        # Paper: average contention per hop almost always < 1 cycle.
+        assert 0 <= cal.contention_per_hop < 1.0
+        assert cal.measured_head >= cal.analytical_head

@@ -1,0 +1,51 @@
+"""Load-latency curve API tests."""
+
+import pytest
+
+from repro.harness.designs import mesh_design
+from repro.harness.loadcurve import load_latency_curve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return load_latency_curve(
+        mesh_design(4),
+        pattern="uniform_random",
+        rates=(0.3, 1.0, 3.0, 8.0, 14.0),
+        seed=1,
+        warmup=200,
+        measure=600,
+    )
+
+
+class TestLoadCurve:
+    def test_latency_monotone_with_load(self, curve):
+        lats = [p.avg_latency for p in curve.points]
+        assert lats[-1] > lats[0]
+
+    def test_accepted_tracks_offered_below_saturation(self, curve):
+        first = curve.points[0]
+        assert first.accepted_packets_per_cycle == pytest.approx(
+            first.offered_packets_per_cycle, rel=0.3
+        )
+
+    def test_saturation_positive_and_below_peak_offer(self, curve):
+        sat = curve.saturation_throughput()
+        assert 0 < sat <= 14.0
+
+    def test_render_includes_all_points(self, curve):
+        out = curve.render()
+        assert out.count("\n") >= len(curve.points) + 3
+
+    def test_stop_after_saturation_truncates(self):
+        full = load_latency_curve(
+            mesh_design(4),
+            rates=(0.3, 20.0, 30.0),
+            seed=1,
+            warmup=100,
+            measure=300,
+            stop_after_saturation=True,
+        )
+        # 20 pkt/cycle on a 4x4 (1.25/node) is beyond per-node max -> the
+        # sweep stops before offering 30.
+        assert len(full.points) <= 2

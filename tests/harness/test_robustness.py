@@ -1,0 +1,40 @@
+"""Seed-robustness harness unit tests."""
+
+import pytest
+
+from repro.core.annealing import AnnealingParams
+from repro.harness.robustness import SeedSpread, seed_robustness
+
+QUICK = AnnealingParams(total_moves=300, moves_per_cooldown=100)
+
+
+class TestSeedSpread:
+    def test_statistics(self):
+        s = SeedSpread("dc_sa", 8, 4, (6.0, 6.5, 7.0))
+        assert s.best == 6.0
+        assert s.worst == 7.0
+        assert s.mean == pytest.approx(6.5)
+        assert s.std == pytest.approx((1 / 6) ** 0.5)
+        assert s.worst_gap_percent == pytest.approx(100 * 1.0 / 6.0)
+
+
+class TestSeedRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return seed_robustness(8, 2, seeds=(0, 1, 2), params=QUICK)
+
+    def test_both_methods_present(self, result):
+        assert set(result.spreads) == {"dc_sa", "only_sa"}
+
+    def test_energy_counts_match_seeds(self, result):
+        assert all(len(s.energies) == 3 for s in result.spreads.values())
+
+    def test_dc_sa_deterministic_seed_gives_same_value_twice(self):
+        a = seed_robustness(8, 2, seeds=(5,), methods=("dc_sa",), params=QUICK)
+        b = seed_robustness(8, 2, seeds=(5,), methods=("dc_sa",), params=QUICK)
+        assert a.spreads["dc_sa"].energies == b.spreads["dc_sa"].energies
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Seed robustness" in out
+        assert "dc_sa" in out and "only_sa" in out

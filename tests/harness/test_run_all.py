@@ -1,0 +1,27 @@
+"""Aggregator tests for harness.experiments.run_all."""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENT_IDS, run_all
+
+
+class TestRunAll:
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(only=["fig99"])
+
+    def test_cheap_subset(self):
+        seen = []
+        out = run_all(
+            seed=1,
+            quick=True,
+            only=["fig10", "area", "table2"],
+            progress=seen.append,
+        )
+        assert set(out) == {"fig10", "area", "table2"}
+        assert all(isinstance(v, str) and v for v in out.values())
+        assert seen == ["fig10", "table2", "area"]
+
+    def test_ids_cover_paper(self):
+        assert "fig5" in EXPERIMENT_IDS and "sec564" in EXPERIMENT_IDS
+        assert len(EXPERIMENT_IDS) == 12

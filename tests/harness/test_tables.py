@@ -1,0 +1,47 @@
+"""Rendering helper tests."""
+
+import pytest
+
+from repro.harness.tables import fmt, pct_change, render_series, render_table
+
+
+class TestFmt:
+    def test_float_digits(self):
+        assert fmt(3.14159, 2) == "3.14"
+
+    def test_non_float_passthrough(self):
+        assert fmt(7) == "7"
+        assert fmt("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "== T ==" in out
+        assert "2.50" in out and "x" in out
+
+    def test_alignment_consistent(self):
+        out = render_table("T", ["col"], [[1], [100]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+
+class TestRenderSeries:
+    def test_missing_points_dashed(self):
+        out = render_series("S", "x", [1, 2], {"y": [1.0, None]})
+        assert "-" in out.splitlines()[-2]
+
+    def test_short_series_padded(self):
+        out = render_series("S", "x", [1, 2, 3], {"y": [1.0]})
+        assert out.count("-") >= 2
+
+
+class TestPctChange:
+    def test_reduction_positive(self):
+        assert pct_change(75.0, 100.0) == pytest.approx(25.0)
+
+    def test_increase_negative(self):
+        assert pct_change(110.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_base(self):
+        assert pct_change(5.0, 0.0) == 0.0

@@ -1,0 +1,44 @@
+"""Area model tests: routing-table overhead < 0.5% (Section 4.5.2)."""
+
+import pytest
+
+from repro.power.area import max_table_overhead, router_area
+from repro.sim.config import SimConfig
+from repro.topology.flattened_butterfly import hybrid_flattened_butterfly
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+
+class TestRouterArea:
+    def test_breakdown_sums(self):
+        a = router_area(MeshTopology.mesh(8), 0, SimConfig(flit_bits=256))
+        assert a.total_um2 == pytest.approx(
+            a.buffer_um2 + a.crossbar_um2 + a.control_um2 + a.table_um2
+        )
+
+    def test_table_fraction_small(self):
+        a = router_area(MeshTopology.mesh(8), 0, SimConfig(flit_bits=256))
+        assert a.table_fraction < 0.005
+
+
+class TestOverheadClaim:
+    @pytest.mark.parametrize(
+        "topo,flit",
+        [
+            (MeshTopology.mesh(8), 256),
+            (hybrid_flattened_butterfly(8), 64),
+            (
+                MeshTopology.uniform(
+                    RowPlacement(8, frozenset({(0, 4), (4, 7), (1, 3)}))
+                ),
+                128,
+            ),
+        ],
+    )
+    def test_under_half_percent_everywhere(self, topo, flit):
+        assert max_table_overhead(topo, SimConfig(flit_bits=flit)) < 0.005
+
+    def test_16x16_still_under_bound(self):
+        assert (
+            max_table_overhead(MeshTopology.mesh(16), SimConfig(flit_bits=256)) < 0.005
+        )

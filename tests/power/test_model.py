@@ -1,0 +1,89 @@
+"""Power model tests (the Section 4.6 / 5.5 claims)."""
+
+import pytest
+
+from repro.power.model import (
+    dynamic_power,
+    power_report,
+    router_static_power,
+    routing_table_bits,
+)
+from repro.power.params import TechParams
+from repro.sim.config import SimConfig
+from repro.topology.flattened_butterfly import hybrid_flattened_butterfly
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+
+class TestStaticPower:
+    def test_components_positive(self):
+        b = router_static_power(MeshTopology.mesh(8), SimConfig(flit_bits=256))
+        assert b.buffer_w > 0 and b.crossbar_w > 0 and b.other_w > 0
+        assert b.total_w == pytest.approx(b.buffer_w + b.crossbar_w + b.other_w)
+
+    def test_buffer_static_flat_across_schemes(self):
+        # The equal-buffer rule keeps buffer static power within ~10%.
+        mesh = router_static_power(MeshTopology.mesh(8), SimConfig(flit_bits=256))
+        hfb = router_static_power(hybrid_flattened_butterfly(8), SimConfig(flit_bits=64))
+        assert abs(mesh.buffer_w - hfb.buffer_w) / mesh.buffer_w < 0.15
+
+    def test_crossbar_does_not_explode_with_express_links(self):
+        # Section 4.6: b shrinks by C while ports grow sub-linearly, so
+        # crossbar static power stays in the mesh's ballpark.
+        mesh = router_static_power(MeshTopology.mesh(8), SimConfig(flit_bits=256))
+        p = RowPlacement(8, frozenset({(0, 2), (0, 4), (1, 4), (2, 4), (4, 6), (4, 7), (5, 7)}))
+        express = router_static_power(MeshTopology.uniform(p), SimConfig(flit_bits=64))
+        assert express.crossbar_w < 1.5 * mesh.crossbar_w
+
+    def test_buffer_dominates_static(self):
+        b = router_static_power(MeshTopology.mesh(8), SimConfig(flit_bits=256))
+        assert b.buffer_w > b.crossbar_w
+        assert b.buffer_w > b.other_w
+
+
+class TestDynamicPower:
+    ACTIVITY = {
+        "buffer_writes": 10_000,
+        "buffer_reads": 10_000,
+        "crossbar_traversals": 10_000,
+        "link_flit_hops": 20_000,
+    }
+
+    def test_scales_with_activity(self):
+        lo = dynamic_power(self.ACTIVITY, cycles=1_000, flit_bits=256)
+        hi = dynamic_power(
+            {k: 2 * v for k, v in self.ACTIVITY.items()}, cycles=1_000, flit_bits=256
+        )
+        assert sum(hi.values()) == pytest.approx(2 * sum(lo.values()))
+
+    def test_scales_with_width(self):
+        wide = dynamic_power(self.ACTIVITY, cycles=1_000, flit_bits=256)
+        narrow = dynamic_power(self.ACTIVITY, cycles=1_000, flit_bits=64)
+        assert sum(wide.values()) == pytest.approx(4 * sum(narrow.values()))
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_power(self.ACTIVITY, cycles=0, flit_bits=256)
+
+
+class TestPowerReport:
+    def test_report_composition(self):
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(flit_bits=256)
+        report = power_report(topo, cfg, TestDynamicPower.ACTIVITY, cycles=1_000)
+        assert report.total_w == pytest.approx(
+            report.static.total_w + report.dynamic_w
+        )
+        assert set(report.dynamic_breakdown) == {
+            "buffer_write_w",
+            "buffer_read_w",
+            "crossbar_w",
+            "link_w",
+        }
+
+
+class TestRoutingTableBits:
+    def test_entry_count(self):
+        # 2(n-1) entries of ceil(log2(n-1)) + 1 bits each.
+        assert routing_table_bits(8) == 2 * 7 * 4
+        assert routing_table_bits(16) == 2 * 15 * 5

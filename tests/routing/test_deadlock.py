@@ -1,0 +1,55 @@
+"""Deadlock-freedom property: the CDG of any placement is acyclic."""
+
+from hypothesis import given, settings
+
+from repro.routing.deadlock import (
+    channel_dependency_graph,
+    check_no_u_turns,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.routing.tables import RoutingTables
+from repro.topology.flattened_butterfly import hybrid_flattened_butterfly
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+from tests.conftest import row_placements
+
+
+def tables_for(p: RowPlacement) -> RoutingTables:
+    return RoutingTables.build(MeshTopology.uniform(p))
+
+
+class TestKnownTopologies:
+    def test_mesh_deadlock_free(self):
+        assert is_deadlock_free(tables_for(RowPlacement.mesh(4)))
+
+    def test_hfb_deadlock_free(self):
+        tables = RoutingTables.build(hybrid_flattened_butterfly(8))
+        assert is_deadlock_free(tables)
+
+    def test_fully_connected_deadlock_free(self):
+        assert is_deadlock_free(tables_for(RowPlacement.fully_connected(5)))
+
+    def test_no_cycle_found(self):
+        assert find_dependency_cycle(tables_for(RowPlacement.mesh(4))) is None
+
+    def test_cdg_nonempty(self):
+        g = channel_dependency_graph(tables_for(RowPlacement.mesh(3)))
+        assert g.number_of_nodes() > 0
+
+    def test_no_u_turns_mesh(self):
+        assert check_no_u_turns(tables_for(RowPlacement.mesh(4)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(row_placements(min_n=4, max_n=6, max_links=5))
+def test_random_placements_deadlock_free(p):
+    tables = tables_for(p)
+    assert is_deadlock_free(tables)
+
+
+@settings(max_examples=10, deadline=None)
+@given(row_placements(min_n=4, max_n=5, max_links=4))
+def test_random_placements_no_u_turns(p):
+    assert check_no_u_turns(tables_for(p))

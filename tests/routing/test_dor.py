@@ -1,0 +1,71 @@
+"""Dimension-order routing over express topologies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.routing.dor import (
+    compute_route,
+    route_head_latency,
+    route_hops,
+    turning_point,
+)
+from repro.routing.shortest_path import HopCostModel
+from repro.routing.tables import RoutingTables
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+from tests.conftest import row_placements
+
+
+@pytest.fixture(scope="module")
+def mesh4():
+    return RoutingTables.build(MeshTopology.mesh(4))
+
+
+class TestComputeRoute:
+    def test_straight_route(self, mesh4):
+        assert compute_route(mesh4, 0, 3) == [0, 1, 2, 3]
+
+    def test_xy_route(self, mesh4):
+        # (0,0) -> (2,2): x first to column 2, then down.
+        assert compute_route(mesh4, 0, 10) == [0, 1, 2, 6, 10]
+
+    def test_self_route(self, mesh4):
+        assert compute_route(mesh4, 7, 7) == [7]
+
+    def test_express_route_shorter(self):
+        p = RowPlacement(8, frozenset({(0, 7)}))
+        tables = RoutingTables.build(MeshTopology.uniform(p))
+        assert compute_route(tables, 0, 7) == [0, 7]
+
+    def test_hops(self, mesh4):
+        assert route_hops(mesh4, 0, 15) == 6
+
+    def test_turning_point(self, mesh4):
+        # src (0,0), dst (2,2): turning point is (2,0) = node 2.
+        assert turning_point(mesh4, 0, 10) == 2
+
+
+class TestHeadLatency:
+    def test_matches_table_distances(self, mesh4):
+        topo = mesh4.topology
+        cost = HopCostModel()
+        for src in range(topo.num_nodes):
+            for dst in range(topo.num_nodes):
+                if src == dst:
+                    continue
+                sx, sy = topo.coords(src)
+                dx, dy = topo.coords(dst)
+                expected = mesh4.row_dist[sy][sx, dx] + mesh4.col_dist[dx][sy, dy]
+                assert route_head_latency(mesh4, src, dst, cost) == pytest.approx(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(row_placements(min_n=4, max_n=6))
+def test_routes_reach_everyone(p):
+    tables = RoutingTables.build(MeshTopology.uniform(p))
+    num = p.n * p.n
+    for src in range(0, num, 3):
+        for dst in range(0, num, 3):
+            path = compute_route(tables, src, dst)
+            assert path[0] == src and path[-1] == dst

@@ -1,0 +1,62 @@
+"""Routing-table construction tests (Figure 3 semantics)."""
+
+import pytest
+
+from repro.routing.tables import RoutingTables
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+
+class TestBuild:
+    def test_mesh_next_hop_is_adjacent(self):
+        topo = MeshTopology.mesh(4)
+        tables = RoutingTables.build(topo)
+        # From (0,0) to (3,0): step right.
+        assert tables.next_hop(0, 3) == 1
+        # From (0,0) to (0,3): step down (same column).
+        assert tables.next_hop(0, 12) == 4
+
+    def test_x_before_y(self):
+        topo = MeshTopology.mesh(4)
+        tables = RoutingTables.build(topo)
+        # From (0,0) to (2,2) = node 10: first move changes x.
+        assert tables.next_hop(0, 10) == 1
+
+    def test_express_link_taken(self):
+        p = RowPlacement(8, frozenset({(0, 4)}))
+        topo = MeshTopology.uniform(p)
+        tables = RoutingTables.build(topo)
+        # Within row 0: 0 -> 4 directly.
+        assert tables.next_hop(0, 4) == 4
+        # 0 -> 5: express to 4 then local.
+        assert tables.next_hop(0, 5) == 4
+
+    def test_column_express_link_taken(self):
+        p = RowPlacement(8, frozenset({(0, 4)}))
+        topo = MeshTopology.uniform(p)
+        tables = RoutingTables.build(topo)
+        # From (0,0) to (0,4) = node 32: column express jump.
+        assert tables.next_hop(0, 32) == 32
+
+    def test_at_destination_returns_self(self):
+        topo = MeshTopology.mesh(4)
+        tables = RoutingTables.build(topo)
+        assert tables.next_hop(5, 5) == 5
+
+    def test_table_entries_bound(self):
+        topo = MeshTopology.mesh(8)
+        tables = RoutingTables.build(topo)
+        assert tables.table_entries(0) == 2 * 7
+
+    def test_distances_symmetric_for_symmetric_placement(self):
+        p = RowPlacement(6, frozenset({(1, 4)}))  # palindromic
+        topo = MeshTopology.uniform(p)
+        tables = RoutingTables.build(topo)
+        d = tables.row_dist[0]
+        assert d[0, 5] == d[5, 0]
+
+    def test_shared_placement_cached(self):
+        topo = MeshTopology.mesh(8)
+        tables = RoutingTables.build(topo)
+        # All rows share one placement object -> identical matrices.
+        assert tables.row_dist[0] is tables.row_dist[7]

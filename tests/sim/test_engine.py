@@ -1,0 +1,150 @@
+"""Engine-level behavior: conservation, draining, saturation, watchdog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.traffic.injection import SyntheticTraffic, TraceTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import row_placements
+
+
+def low_load_run(topology, n, rate=0.02, seed=3, measure=800):
+    cfg = SimConfig(
+        flit_bits=128,
+        warmup_cycles=200,
+        measure_cycles=measure,
+        max_cycles=30_000,
+        seed=seed,
+    )
+    traffic = SyntheticTraffic(make_pattern("uniform_random", n), rate=rate, rng=seed)
+    sim = Simulator(topology, cfg, traffic)
+    return sim, sim.run()
+
+
+class TestConservation:
+    def test_all_measured_packets_complete(self):
+        sim, result = low_load_run(MeshTopology.mesh(4), 4)
+        assert result.drained
+        assert sim.stats.pending_measured == 0
+
+    def test_no_flits_left_after_watched_drain(self):
+        # With traffic stopped, the network must empty completely.
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(flit_bits=128, warmup_cycles=0, measure_cycles=50, max_cycles=10_000)
+        traffic = SyntheticTraffic(
+            make_pattern("uniform_random", 4), rate=0.05, rng=1, stop_cycle=50
+        )
+        sim = Simulator(topo, cfg, traffic)
+        result = sim.run()
+        # Run a few extra cycles to flush anything in flight.
+        for extra in range(result.cycles_run, result.cycles_run + 200):
+            sim.step(extra)
+        assert sim.network.flits_in_flight() == 0
+        assert sim.stats.created_total == sim.stats.done_total
+
+    def test_credit_bounds_hold(self):
+        sim, _ = low_load_run(MeshTopology.mesh(4), 4)
+        assert sim.network.credit_invariant_ok()
+
+    def test_activity_counters_consistent(self):
+        sim, result = low_load_run(MeshTopology.mesh(4), 4)
+        act = result.activity
+        # Every buffered flit is eventually read and crosses the switch.
+        assert act["buffer_reads"] == act["crossbar_traversals"]
+        assert act["buffer_writes"] >= act["buffer_reads"] - sim.network.flits_in_flight()
+
+
+class TestLatencySanity:
+    def test_latency_at_least_zero_load(self):
+        sim, result = low_load_run(MeshTopology.mesh(4), 4)
+        # Any measured packet's head latency >= zero-load for its pair.
+        from repro.routing.dor import route_head_latency
+        from repro.harness.calibration import NI_OVERHEAD_CYCLES
+
+        for pkt in sim.stats.measured[:50]:
+            floor = route_head_latency(sim.tables, pkt.src, pkt.dst) + NI_OVERHEAD_CYCLES
+            assert pkt.head_latency >= floor - 1e-9
+
+    def test_express_beats_mesh_at_low_load(self):
+        n = 8
+        _, mesh_res = low_load_run(MeshTopology.mesh(n), n, measure=600)
+        p = RowPlacement(8, frozenset({(0, 4), (4, 7), (0, 3)}))
+        _, exp_res = low_load_run(MeshTopology.uniform(p), n, measure=600)
+        assert (
+            exp_res.summary.avg_head_latency < mesh_res.summary.avg_head_latency
+        )
+
+
+class TestSaturation:
+    def test_overload_does_not_crash_or_deadlock(self):
+        # Far beyond saturation: queues grow, latency explodes, but the
+        # deadlock watchdog never trips and packets keep completing.
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(
+            flit_bits=128,
+            warmup_cycles=100,
+            measure_cycles=300,
+            max_cycles=6_000,
+            seed=5,
+        )
+        traffic = SyntheticTraffic(make_pattern("uniform_random", 4), rate=0.9, rng=5)
+        result = Simulator(topo, cfg, traffic).run()
+        assert result.summary.packets > 0
+        # Source queueing dominates: total latency far above network latency.
+        assert result.summary.avg_total_latency > 2 * result.summary.avg_network_latency
+
+    def test_throughput_monotone_then_saturates(self):
+        topo = MeshTopology.mesh(4)
+        accepted = []
+        for rate in (0.02, 0.08, 0.9):
+            cfg = SimConfig(
+                flit_bits=128,
+                warmup_cycles=400,
+                measure_cycles=400,
+                max_cycles=6_000,
+                seed=7,
+            )
+            traffic = SyntheticTraffic(make_pattern("uniform_random", 4), rate=rate, rng=7)
+            result = Simulator(topo, cfg, traffic).run()
+            accepted.append(result.summary.throughput_packets_per_cycle)
+        assert accepted[1] > accepted[0]
+        # Accepted throughput at heavy overload stays below offered load
+        # (the NI can inject at most one flit per cycle per node).
+        assert accepted[2] < 0.9 * 16
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            topo = MeshTopology.mesh(4)
+            cfg = SimConfig(
+                flit_bits=128, warmup_cycles=100, measure_cycles=400, max_cycles=5_000
+            )
+            traffic = SyntheticTraffic(
+                make_pattern("uniform_random", 4), rate=0.05, rng=42
+            )
+            return Simulator(topo, cfg, traffic).run()
+
+        a, b = run(), run()
+        assert a.summary.avg_network_latency == b.summary.avg_network_latency
+        assert a.packets_created == b.packets_created
+
+
+@settings(max_examples=8, deadline=None)
+@given(row_placements(min_n=4, max_n=5, max_links=4))
+def test_random_topologies_drain_under_load(p):
+    """Property: any valid placement simulates deadlock-free and drains."""
+    topo = MeshTopology.uniform(p)
+    cfg = SimConfig(
+        flit_bits=128, warmup_cycles=100, measure_cycles=300, max_cycles=20_000, seed=9
+    )
+    traffic = SyntheticTraffic(make_pattern("uniform_random", p.n), rate=0.03, rng=9)
+    result = Simulator(topo, cfg, traffic).run()
+    assert result.drained

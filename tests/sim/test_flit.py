@@ -1,0 +1,46 @@
+"""Packet/flit unit tests."""
+
+import pytest
+
+from repro.sim.flit import Flit, Packet, make_flits
+
+
+class TestPacket:
+    def test_flit_count_rounds_up(self):
+        p = Packet(0, 0, 1, 512, 256, created=0)
+        assert p.num_flits == 2
+        assert Packet(1, 0, 1, 100, 64, 0).num_flits == 2
+        assert Packet(2, 0, 1, 128, 256, 0).num_flits == 1
+
+    def test_minimum_one_flit(self):
+        assert Packet(0, 0, 1, 1, 256, 0).num_flits == 1
+
+    def test_latency_views(self):
+        p = Packet(0, 2, 9, 512, 256, created=10)
+        p.injected = 15
+        p.head_ejected = 40
+        p.tail_ejected = 41
+        assert p.network_latency == 26
+        assert p.total_latency == 31
+        assert p.head_latency == 25
+        assert p.serialization_latency == 1
+
+
+class TestFlits:
+    def test_make_flits_roles(self):
+        p = Packet(0, 0, 1, 512, 128, 0)  # 4 flits
+        flits = make_flits(p)
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert not flits[1].is_head and not flits[1].is_tail
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = Packet(0, 0, 1, 64, 256, 0)
+        (flit,) = make_flits(p)
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_share_packet(self):
+        p = Packet(0, 0, 1, 512, 256, 0)
+        flits = make_flits(p)
+        assert all(f.packet is p for f in flits)

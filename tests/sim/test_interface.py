@@ -1,0 +1,85 @@
+"""NetworkInterface unit tests (injection mechanics, isolated)."""
+
+import pytest
+
+from repro.sim.buffers import InputPort
+from repro.sim.flit import Packet
+from repro.sim.interface import NetworkInterface
+from repro.sim.link import CreditPipeline
+from repro.sim.router import EJECT, OutputChannel, Router
+
+
+def make_ni(num_vcs=2, depth=2):
+    router = Router(node=0)
+    router.output_order.append(EJECT)
+    router.route_tables = {"xy": {0: EJECT}}
+    router.vc_class = {"xy": (0, num_vcs)}
+    inj = OutputChannel(0, 0, num_vcs, depth)
+    port = InputPort(num_vcs, depth)
+    router.add_input(0, port, inj.credit_pipe)
+    ni = NetworkInterface(0, router, inj, stats=None, vc_class={"xy": (0, num_vcs)})
+    return ni, inj, port
+
+
+def packet(flits=2, pid=0):
+    return Packet(pid, 0, 5, flits * 128, 128, created=0)
+
+
+class TestInjection:
+    def test_idle_without_packets(self):
+        ni, _, _ = make_ni()
+        assert ni.tick(0) == 0
+        assert not ni.has_backlog()
+
+    def test_streams_one_flit_per_cycle(self):
+        ni, inj, _ = make_ni(depth=4)
+        ni.enqueue(packet(flits=3))
+        assert ni.has_backlog()
+        sent = [ni.tick(c) for c in range(3)]
+        assert sent == [1, 1, 1]
+        assert inj.flits_sent == 3
+        assert not ni.has_backlog()
+
+    def test_injected_timestamp_set_on_head(self):
+        ni, _, _ = make_ni()
+        p = packet()
+        ni.enqueue(p)
+        ni.tick(7)
+        assert p.injected == 7
+
+    def test_stalls_without_credit(self):
+        ni, inj, _ = make_ni(num_vcs=1, depth=2)
+        ni.enqueue(packet(flits=4))
+        assert ni.tick(0) == 1
+        assert ni.tick(1) == 1
+        # Buffer depth 2 exhausted; no credits return in this rig.
+        assert ni.tick(2) == 0
+        assert ni.has_backlog()
+
+    def test_resumes_when_credit_returns(self):
+        ni, inj, _ = make_ni(num_vcs=1, depth=2)
+        ni.enqueue(packet(flits=3))
+        ni.tick(0)
+        ni.tick(1)
+        assert ni.tick(2) == 0
+        inj.credits[0] += 1  # simulate a returned credit
+        assert ni.tick(3) == 1
+
+    def test_vc_released_on_tail(self):
+        ni, inj, _ = make_ni(depth=4)
+        ni.enqueue(packet(flits=2))
+        ni.tick(0)
+        assert inj.vc_busy[0] == 0  # head allocated VC 0
+        ni.tick(1)
+        assert inj.vc_busy[0] is None
+
+    def test_packets_queue_fifo(self):
+        ni, _, _ = make_ni(depth=8)
+        a, b = packet(flits=1, pid=1), packet(flits=1, pid=2)
+        ni.enqueue(a)
+        ni.enqueue(b)
+        ni.tick(0)
+        ni.tick(1)
+        assert a.injected == 0 and b.injected == 1
+        assert ni.packets_queued == 2
+        assert ni.flits_injected == 2

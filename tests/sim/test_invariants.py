@@ -1,0 +1,65 @@
+"""Conservation-law property tests with invariant checking enabled."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+from tests.conftest import row_placements
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    row_placements(min_n=4, max_n=5, max_links=4),
+    st.sampled_from([0.02, 0.1, 0.4]),
+    st.integers(0, 3),
+)
+def test_conservation_holds_under_load(p, rate, seed):
+    """Credits and buffer occupancies stay within bounds at any load."""
+    topo = MeshTopology.uniform(p)
+    cfg = SimConfig(
+        flit_bits=128,
+        warmup_cycles=100,
+        measure_cycles=300,
+        max_cycles=4_000,
+        seed=seed,
+    )
+    traffic = SyntheticTraffic(make_pattern("uniform_random", p.n), rate=rate, rng=seed)
+    sim = Simulator(topo, cfg, traffic, check_invariants=True)
+    sim.run()  # raises SimulationError on any violation
+
+
+def test_invariants_checked_at_saturation():
+    """Even far past saturation, conservation laws hold."""
+    topo = MeshTopology.mesh(4)
+    cfg = SimConfig(
+        flit_bits=64,
+        warmup_cycles=100,
+        measure_cycles=200,
+        max_cycles=2_500,
+        seed=1,
+    )
+    traffic = SyntheticTraffic(make_pattern("bit_complement", 4), rate=0.9, rng=1)
+    Simulator(topo, cfg, traffic, check_invariants=True).run()
+
+
+def test_invariants_on_rectangular_mesh():
+    topo = MeshTopology.rect_mesh(6, 3)
+    cfg = SimConfig(
+        flit_bits=128,
+        warmup_cycles=100,
+        measure_cycles=300,
+        max_cycles=5_000,
+        seed=2,
+    )
+    import numpy as np
+
+    from repro.traffic.injection import MatrixTraffic
+
+    g = np.ones((18, 18))
+    traffic = MatrixTraffic(g, aggregate_rate=0.5, rng=2)
+    Simulator(topo, cfg, traffic, check_invariants=True).run()

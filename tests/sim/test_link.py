@@ -1,0 +1,63 @@
+"""Link and credit pipeline tests."""
+
+import pytest
+
+from repro.sim.flit import Packet, make_flits
+from repro.sim.link import CreditPipeline, LinkPipeline
+
+
+def flit():
+    return make_flits(Packet(0, 0, 1, 128, 256, 0))[0]
+
+
+class TestLinkPipeline:
+    def test_latency_one(self):
+        link = LinkPipeline(1)
+        f = flit()
+        link.send(cycle=5, flit=f, vc=0)
+        assert link.deliver(6) == []
+        assert link.deliver(7) == [(f, 0)]
+
+    def test_zero_latency_delivers_next_cycle(self):
+        link = LinkPipeline(0)
+        f = flit()
+        link.send(cycle=5, flit=f, vc=2)
+        assert link.deliver(5) == []
+        assert link.deliver(6) == [(f, 2)]
+
+    def test_pipelining_one_per_cycle(self):
+        # A length-4 link carries one flit per cycle despite 4-cycle latency.
+        link = LinkPipeline(4)
+        fs = [flit() for _ in range(3)]
+        for i, f in enumerate(fs):
+            link.send(cycle=i, flit=f, vc=0)
+        assert link.occupancy == 3
+        assert link.deliver(5) == [(fs[0], 0)]
+        assert link.deliver(6) == [(fs[1], 0)]
+        assert link.deliver(7) == [(fs[2], 0)]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkPipeline(-1)
+
+    def test_batch_delivery(self):
+        link = LinkPipeline(1)
+        f1, f2 = flit(), flit()
+        link.send(0, f1, 0)
+        link.send(1, f2, 1)
+        assert link.deliver(10) == [(f1, 0), (f2, 1)]
+        assert len(link) == 0
+
+
+class TestCreditPipeline:
+    def test_round_trip_latency(self):
+        credits = CreditPipeline(3)
+        credits.send(cycle=0, vc=1)
+        assert credits.deliver(3) == []
+        assert credits.deliver(4) == [1]
+
+    def test_order_preserved(self):
+        credits = CreditPipeline(0)
+        credits.send(0, 2)
+        credits.send(0, 0)
+        assert credits.deliver(1) == [2, 0]

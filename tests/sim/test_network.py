@@ -1,0 +1,76 @@
+"""Network assembly structure tests."""
+
+import pytest
+
+from repro.routing.tables import RoutingTables
+from repro.sim.config import SimConfig
+from repro.sim.network import Network
+from repro.sim.router import EJECT
+from repro.sim.stats import StatsCollector
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+
+
+def build(topology, flit_bits=256):
+    tables = RoutingTables.build(topology)
+    cfg = SimConfig(flit_bits=flit_bits, warmup_cycles=0, measure_cycles=10, max_cycles=100)
+    stats = StatsCollector(0, 10)
+    return Network(topology, tables, cfg, stats)
+
+
+class TestStructure:
+    def test_router_count(self):
+        net = build(MeshTopology.mesh(4))
+        assert len(net.routers) == 16
+        assert len(net.nis) == 16
+
+    def test_mesh_port_counts(self):
+        net = build(MeshTopology.mesh(4))
+        # Interior router: 4 network inputs + 1 injection port.
+        interior = net.routers[5]
+        assert len(interior.in_ports) == 5
+        # Outputs dict holds network channels only; ejection is a
+        # pseudo-output present in the arbitration order.
+        assert len(interior.outputs) == 4
+        assert len(interior.output_order) == 5
+
+    def test_eject_in_output_order(self):
+        net = build(MeshTopology.mesh(3))
+        for r in net.routers:
+            assert EJECT in r.output_order
+
+    def test_express_channels_wired(self):
+        p = RowPlacement(4, frozenset({(0, 3)}))
+        net = build(MeshTopology.uniform(p))
+        # Router 0 has a direct output to router 3 with length 3.
+        assert 3 in net.routers[0].outputs
+        assert net.routers[0].outputs[3].link.latency == 3
+
+    def test_route_tables_complete(self):
+        net = build(MeshTopology.mesh(3))
+        for r in net.routers:
+            assert set(r.route_tables["xy"]) == set(range(9))
+            assert r.route_tables["xy"][r.node] == EJECT
+
+    def test_credit_initialization_matches_depth(self):
+        net = build(MeshTopology.mesh(3))
+        for out, down_router, pkey in net._wires:
+            port = down_router.in_ports[pkey]
+            assert all(c == port.depth for c in out.credits)
+
+    def test_buffer_depths_normalized_by_radix(self):
+        p = RowPlacement.fully_connected(4)
+        net = build(MeshTopology.uniform(p), flit_bits=64)
+        cfg = net.config
+        corner_radix = net.topology.radix(0)
+        assert net.routers[0].in_ports[0 if False else list(net.routers[0].in_ports)[0]].depth == cfg.vc_depth_for_radix(corner_radix)
+
+    def test_empty_network_has_no_flits(self):
+        net = build(MeshTopology.mesh(3))
+        assert net.flits_in_flight() == 0
+        assert net.credit_invariant_ok()
+
+    def test_activity_counters_start_zero(self):
+        net = build(MeshTopology.mesh(3))
+        act = net.activity_counters()
+        assert all(v == 0 for v in act.values())

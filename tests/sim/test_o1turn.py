@@ -1,0 +1,86 @@
+"""O1TURN routing mode: random XY/YX per packet with VC classes."""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.traffic.injection import SyntheticTraffic, TraceTraffic
+from repro.traffic.patterns import make_pattern
+from repro.util.errors import ConfigurationError
+
+
+def run(topology, mode, rate=0.05, seed=3, vcs=4, measure=800):
+    cfg = SimConfig(
+        flit_bits=128,
+        vcs_per_port=vcs,
+        routing_mode=mode,
+        warmup_cycles=200,
+        measure_cycles=measure,
+        max_cycles=30_000,
+        seed=seed,
+    )
+    n = topology.n
+    traffic = SyntheticTraffic(make_pattern("uniform_random", n), rate=rate, rng=seed)
+    sim = Simulator(topology, cfg, traffic, check_invariants=True)
+    return sim, sim.run()
+
+
+class TestConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(routing_mode="adaptive")
+
+    def test_o1turn_needs_two_vcs(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(routing_mode="o1turn", vcs_per_port=1)
+
+
+class TestO1Turn:
+    def test_runs_and_drains(self):
+        _, result = run(MeshTopology.mesh(4), "o1turn")
+        assert result.drained
+
+    def test_both_orders_used(self):
+        sim, _ = run(MeshTopology.mesh(4), "o1turn")
+        orders = {p.order for p in sim.stats.measured}
+        assert orders == {"xy", "yx"}
+
+    def test_deadlock_free_on_express_topology(self):
+        p = RowPlacement(4, frozenset({(0, 2), (1, 3)}))
+        _, result = run(MeshTopology.uniform(p), "o1turn", rate=0.15)
+        assert result.drained
+
+    def test_latency_close_to_xy(self):
+        # The paper's Section 4.2 premise: at realistic loads the
+        # routing algorithm barely matters (<1% between XY and
+        # adaptive in their measurements; we allow a looser 10% since
+        # O1TURN halves each class's VC count).
+        _, xy = run(MeshTopology.mesh(4), "xy", rate=0.03)
+        _, o1 = run(MeshTopology.mesh(4), "o1turn", rate=0.03)
+        a = xy.summary.avg_network_latency
+        b = o1.summary.avg_network_latency
+        assert abs(a - b) / a < 0.10
+
+    def test_yx_mode_end_to_end(self):
+        _, result = run(MeshTopology.mesh(4), "yx")
+        assert result.drained
+
+    def test_zero_load_same_latency_all_modes(self):
+        # Single packet on a symmetric topology: identical head latency
+        # under xy, yx, and whichever order o1turn picks.
+        latencies = {}
+        for mode in ("xy", "yx", "o1turn"):
+            topo = MeshTopology.mesh(4)
+            cfg = SimConfig(
+                flit_bits=128,
+                routing_mode=mode,
+                warmup_cycles=0,
+                measure_cycles=10,
+                max_cycles=2_000,
+            )
+            sim = Simulator(topo, cfg, TraceTraffic([(0, 0, 15, 128)]))
+            result = sim.run()
+            latencies[mode] = result.summary.avg_head_latency
+        assert latencies["xy"] == latencies["yx"] == latencies["o1turn"]

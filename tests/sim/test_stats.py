@@ -1,0 +1,77 @@
+"""StatsCollector unit tests."""
+
+import math
+
+import pytest
+
+from repro.sim.flit import Packet
+from repro.sim.stats import StatsCollector
+
+
+def packet(created, injected, head_ej, tail_ej, flits=2, pid=0):
+    p = Packet(pid, 0, 1, flits * 128, 128, created)
+    p.injected = injected
+    p.head_ejected = head_ej
+    p.tail_ejected = tail_ej
+    return p
+
+
+class TestWindowing:
+    def test_in_window(self):
+        stats = StatsCollector(warmup=100, measure=200)
+        assert not stats.in_window(99)
+        assert stats.in_window(100)
+        assert stats.in_window(299)
+        assert not stats.in_window(300)
+
+    def test_only_window_packets_measured(self):
+        stats = StatsCollector(warmup=100, measure=200)
+        early = packet(created=50, injected=55, head_ej=70, tail_ej=71)
+        inside = packet(created=150, injected=155, head_ej=170, tail_ej=171, pid=1)
+        for p in (early, inside):
+            stats.packet_created(p)
+            stats.packet_done(p)
+        assert stats.created_total == 2
+        assert len(stats.measured) == 1
+        assert stats.measured[0] is inside
+
+    def test_drained_tracks_pending(self):
+        stats = StatsCollector(warmup=0, measure=100)
+        p = packet(created=10, injected=12, head_ej=40, tail_ej=41)
+        stats.packet_created(p)
+        assert not stats.drained
+        stats.packet_done(p)
+        assert stats.drained
+
+    def test_throughput_counts_window_ejections_only(self):
+        stats = StatsCollector(warmup=0, measure=100)
+        inside = packet(created=10, injected=11, head_ej=50, tail_ej=51)
+        late = packet(created=20, injected=21, head_ej=150, tail_ej=151, pid=1)
+        for p in (inside, late):
+            stats.packet_created(p)
+            stats.packet_done(p)
+        s = stats.summary()
+        # Both measured (created in window) but only one ejected inside.
+        assert s.packets == 2
+        assert s.throughput_packets_per_cycle == pytest.approx(1 / 100)
+
+
+class TestSummary:
+    def test_empty_summary_is_nan(self):
+        s = StatsCollector(warmup=0, measure=10).summary()
+        assert s.packets == 0
+        assert math.isnan(s.avg_network_latency)
+        assert s.throughput_packets_per_cycle == 0.0
+
+    def test_latency_components(self):
+        stats = StatsCollector(warmup=0, measure=1_000)
+        p = packet(created=10, injected=15, head_ej=40, tail_ej=43, flits=4)
+        stats.packet_created(p)
+        stats.packet_done(p)
+        s = stats.summary()
+        assert s.avg_network_latency == 28
+        assert s.avg_head_latency == 25
+        assert s.avg_serialization_latency == 3
+        assert s.avg_total_latency == 33
+        assert s.max_network_latency == 28
+        assert s.throughput_flits_per_cycle == pytest.approx(4 / 1_000)

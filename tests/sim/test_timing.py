@@ -1,0 +1,89 @@
+"""Zero-load timing exactness: simulator vs analytical model (Eq. 1).
+
+These are the tests that pin the simulator to the paper's latency
+model: a single packet's measured head latency must equal the
+analytical ``sum over hops of (Tr + len * Tl)`` plus the constant
+3-cycle NI overhead, and its serialization latency must be
+``flits - 1``.
+"""
+
+import pytest
+
+from repro.harness.calibration import NI_OVERHEAD_CYCLES
+from repro.routing.dor import route_head_latency
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.traffic.injection import TraceTraffic
+
+
+def single_packet_run(topology, src, dst, size_bits, flit_bits):
+    cfg = SimConfig(
+        flit_bits=flit_bits,
+        warmup_cycles=0,
+        measure_cycles=10,
+        max_cycles=5_000,
+    )
+    sim = Simulator(topology, cfg, TraceTraffic([(0, src, dst, size_bits)]))
+    result = sim.run()
+    assert result.drained
+    assert result.summary.packets == 1
+    return sim, result.summary
+
+
+class TestZeroLoadHeadLatency:
+    @pytest.mark.parametrize("src,dst", [(0, 1), (0, 3), (0, 15), (5, 10), (12, 3)])
+    def test_mesh_4x4(self, src, dst):
+        topo = MeshTopology.mesh(4)
+        sim, s = single_packet_run(topo, src, dst, 256, 256)
+        expected = route_head_latency(sim.tables, src, dst) + NI_OVERHEAD_CYCLES
+        assert s.avg_head_latency == pytest.approx(expected)
+
+    @pytest.mark.parametrize("src,dst", [(0, 7), (0, 5), (7, 0), (0, 63), (63, 0)])
+    def test_express_8x8(self, src, dst):
+        p = RowPlacement(8, frozenset({(0, 4), (4, 7), (1, 3)}))
+        topo = MeshTopology.uniform(p)
+        sim, s = single_packet_run(topo, src, dst, 128, 128)
+        expected = route_head_latency(sim.tables, src, dst) + NI_OVERHEAD_CYCLES
+        assert s.avg_head_latency == pytest.approx(expected)
+
+    def test_express_link_latency_is_length_proportional(self):
+        # One long express link (0,6): per-hop cost 3 + 6 = 9.
+        p = RowPlacement(8, frozenset({(0, 6)}))
+        topo = MeshTopology.uniform(p)
+        sim, s = single_packet_run(topo, 0, 6, 128, 128)
+        assert s.avg_head_latency == pytest.approx(9 + NI_OVERHEAD_CYCLES)
+
+
+class TestZeroLoadSerialization:
+    @pytest.mark.parametrize(
+        "size,flit,expected",
+        [(512, 256, 1), (512, 128, 3), (512, 64, 7), (128, 256, 0), (256, 32, 7)],
+    )
+    def test_tail_follows_head_back_to_back(self, size, flit, expected):
+        topo = MeshTopology.mesh(4)
+        _, s = single_packet_run(topo, 0, 15, size, flit)
+        assert s.avg_serialization_latency == pytest.approx(expected)
+
+
+class TestBackToBackPackets:
+    def test_two_packets_same_flow_pipeline(self):
+        # Two single-flit packets injected on consecutive cycles reach
+        # the destination one cycle apart (full pipelining).
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(flit_bits=256, warmup_cycles=0, measure_cycles=10, max_cycles=2_000)
+        traffic = TraceTraffic([(0, 0, 3, 128), (1, 0, 3, 128)])
+        sim = Simulator(topo, cfg, traffic)
+        result = sim.run()
+        pkts = sorted(sim.stats.measured, key=lambda p: p.created)
+        assert pkts[1].tail_ejected - pkts[0].tail_ejected == 1
+
+    def test_multiflit_worm_stays_contiguous_at_zero_load(self):
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(flit_bits=64, warmup_cycles=0, measure_cycles=10, max_cycles=2_000)
+        sim = Simulator(topo, cfg, TraceTraffic([(0, 0, 15, 512)]))
+        sim.run()
+        (pkt,) = sim.stats.measured
+        # 8 flits: tail exactly 7 cycles behind head.
+        assert pkt.serialization_latency == 7

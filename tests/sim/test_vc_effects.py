@@ -1,0 +1,91 @@
+"""Virtual-channel effects: head-of-line blocking and its relief.
+
+Section 2.2 cites "multiple virtual channels per link to reduce
+head-of-line blocking" as one reason contention stays low.  These tests
+construct a classic HOL scenario and verify VCs actually deliver the
+claimed effect in our simulator.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.traffic.injection import TraceTraffic
+
+
+def hol_scenario(vcs: int):
+    """Two flows share the link 1->2; one then turns off the shared path.
+
+    Flow A: 0 -> 3 (straight along row 0, long packet hogs the path).
+    Flow B: 0 -> 2, injected just after.  With one VC, B's flits sit
+    behind A's worm in every shared buffer; with several VCs, B can
+    interleave and finish much closer to its zero-load latency.
+    """
+    topo = MeshTopology.mesh(4)
+    cfg = SimConfig(
+        flit_bits=32,  # long packets -> 16-flit worms
+        vcs_per_port=vcs,
+        vc_depth_flits=2,
+        normalize_buffer_bits=False,
+        warmup_cycles=0,
+        measure_cycles=40,
+        max_cycles=5_000,
+    )
+    traffic = TraceTraffic(
+        [
+            (0, 0, 3, 512),  # A: 16 flits
+            (1, 0, 2, 512),  # B: right behind on the same input
+            (2, 0, 3, 512),
+            (3, 0, 2, 512),
+        ]
+    )
+    sim = Simulator(topo, cfg, traffic)
+    result = sim.run()
+    assert result.drained
+    by_dst = {}
+    for pkt in sim.stats.measured:
+        by_dst.setdefault(pkt.dst, []).append(pkt.network_latency)
+    return by_dst
+
+
+class TestHeadOfLineBlocking:
+    def test_multiple_vcs_reduce_blocking(self):
+        one_vc = hol_scenario(vcs=1)
+        four_vc = hol_scenario(vcs=4)
+        # The blocked short-path flow (dst 2) completes faster with VCs.
+        assert min(four_vc[2]) < min(one_vc[2])
+
+    def test_single_vc_still_correct(self):
+        # With one VC everything serializes but nothing is lost.
+        by_dst = hol_scenario(vcs=1)
+        assert set(by_dst) == {2, 3}
+        assert len(by_dst[2]) == 2 and len(by_dst[3]) == 2
+
+
+class TestVCFairness:
+    def test_round_robin_shares_output(self):
+        # Two sustained flows from different inputs into one output:
+        # round-robin arbitration gives each roughly half the slots.
+        topo = MeshTopology.mesh(4)
+        cfg = SimConfig(
+            flit_bits=128,
+            warmup_cycles=0,
+            measure_cycles=400,
+            max_cycles=5_000,
+        )
+        events = []
+        # Node 0 and node 8 both stream to node 2 (sharing link 1->2
+        # only for node 0; node 8 converges at node 10... choose flows
+        # converging at router 1: 0->2 and 5->2 share channel 1->2).
+        for t in range(0, 300, 2):
+            events.append((t, 0, 2, 128))
+            events.append((t, 5, 2, 128))
+        sim = Simulator(topo, cfg, TraceTraffic(events))
+        result = sim.run()
+        assert result.drained
+        lat0 = [p.network_latency for p in sim.stats.measured if p.src == 0]
+        lat5 = [p.network_latency for p in sim.stats.measured if p.src == 5]
+        # Neither flow is starved: average latencies within 3x.
+        a, b = sum(lat0) / len(lat0), sum(lat5) / len(lat5)
+        assert max(a, b) / min(a, b) < 3.0

@@ -1,0 +1,93 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("optimize", "solve", "simulate", "inspect", "experiments"):
+            args = parser.parse_args(
+                [cmd] if cmd == "experiments" else [cmd, "--seed", "1"]
+            )
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Table 2" in out
+
+    def test_solve_exact_small(self, capsys):
+        assert main(["solve", "--n", "4", "--c", "2", "--method", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "P~(4,2)" in out
+        assert "express links" in out
+
+    def test_optimize_smoke(self, capsys):
+        assert main(["optimize", "--n", "4", "--effort", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "design sweep" in out
+        assert "best: C=" in out
+
+    def test_inspect_smoke(self, capsys):
+        assert main(["inspect", "--n", "6", "--c", "2", "--effort", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "connection matrix" in out
+        assert "cross-section counts" in out
+
+    def test_simulate_mesh(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n", "4",
+                    "--scheme", "mesh",
+                    "--workload", "uniform_random",
+                    "--rate", "0.03",
+                    "--warmup", "100",
+                    "--measure", "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "avg network latency" in out
+
+    def test_analyze_mesh(self, capsys):
+        assert main(["analyze", "--n", "4", "--scheme", "mesh"]) == 0
+        out = capsys.readouterr().out
+        assert "binding bound" in out
+
+    def test_optimize_save(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        assert (
+            main(["optimize", "--n", "4", "--effort", "smoke", "--save", path]) == 0
+        )
+        from repro.io import load_sweep
+
+        assert load_sweep(path).n == 4
+
+    def test_simulate_parsec_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n", "4",
+                    "--scheme", "hfb",
+                    "--workload", "swaptions",
+                    "--warmup", "100",
+                    "--measure", "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "HFB" in out

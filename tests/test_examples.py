@@ -1,0 +1,54 @@
+"""Every example script must run end to end (scaled-down arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--n", "4", "--quick")
+        assert "Best design" in out
+        assert "Latency reduction vs mesh" in out
+
+    def test_parsec_study(self):
+        out = run_example(
+            "parsec_study.py", "--n", "4", "--benchmarks", "swaptions"
+        )
+        assert "Figure 6" in out and "Figure 9" in out
+
+    def test_synthetic_saturation(self):
+        out = run_example(
+            "synthetic_saturation.py", "--n", "4", "--pattern", "uniform_random"
+        )
+        assert "saturated" in out or "Mesh" in out
+
+    def test_application_aware(self):
+        out = run_example(
+            "application_aware.py", "--n", "4", "--benchmark", "swaptions"
+        )
+        assert "additional reduction" in out
+
+    def test_topology_explorer(self):
+        out = run_example("topology_explorer.py", "--n", "6", "--c", "2", "--exact")
+        assert "deadlock-free: True" in out
+        assert "connection matrix" in out
+
+    def test_rectangular_mesh(self):
+        out = run_example("rectangular_mesh.py", "--width", "6", "--height", "3")
+        assert "reduction" in out

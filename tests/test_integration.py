@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie the optimizer, routing, simulator, traffic, and power model
+together and check the paper's core claims hold on scaled-down runs:
+the optimized express topology must beat the mesh in simulation, the
+simulator must agree with the analytical model at zero load, and the
+full public API advertised in the README must work as documented.
+"""
+
+import pytest
+
+from repro import (
+    AnnealingParams,
+    MeshTopology,
+    RowPlacement,
+    SimConfig,
+    Simulator,
+    SyntheticTraffic,
+    is_deadlock_free,
+    make_pattern,
+    optimize,
+    power_report,
+)
+from repro.harness.calibration import NI_OVERHEAD_CYCLES
+from repro.routing.tables import RoutingTables
+from repro.traffic.parsec import parsec_traffic
+
+QUICK = AnnealingParams(total_moves=800, moves_per_cooldown=200)
+
+
+@pytest.fixture(scope="module")
+def sweep8():
+    return optimize(8, method="dc_sa", params=QUICK, rng=7, link_limits=(1, 2, 4))
+
+
+class TestOptimizeToSimulate:
+    def test_best_point_beats_mesh_analytically(self, sweep8):
+        assert sweep8.best.total_latency < sweep8.points[1].total_latency
+
+    def test_best_point_beats_mesh_in_simulation(self, sweep8):
+        best = sweep8.best
+
+        def run(topology, flit_bits, seed=3):
+            cfg = SimConfig(
+                flit_bits=flit_bits,
+                warmup_cycles=300,
+                measure_cycles=1_200,
+                max_cycles=30_000,
+                seed=seed,
+            )
+            traffic = SyntheticTraffic(
+                make_pattern("uniform_random", 8), rate=0.02, rng=seed
+            )
+            return Simulator(topology, cfg, traffic).run().summary
+
+        mesh = run(MeshTopology.mesh(8), 256)
+        express = run(MeshTopology.uniform(best.placement), best.flit_bits)
+        assert express.avg_network_latency < mesh.avg_network_latency
+
+    def test_optimized_topology_deadlock_free(self, sweep8):
+        topo = MeshTopology.uniform(sweep8.best.placement)
+        tables = RoutingTables.build(topo)
+        assert is_deadlock_free(tables)
+
+    def test_simulated_latency_tracks_analytical(self, sweep8):
+        # Simulated avg network latency at low load should be the
+        # analytical total plus the constant NI overhead, within the
+        # small contention margin the paper reports (< 1 cycle/hop).
+        best = sweep8.best
+        cfg = SimConfig(
+            flit_bits=best.flit_bits,
+            warmup_cycles=300,
+            measure_cycles=1_500,
+            max_cycles=30_000,
+            seed=5,
+        )
+        traffic = SyntheticTraffic(make_pattern("uniform_random", 8), rate=0.01, rng=5)
+        s = Simulator(MeshTopology.uniform(best.placement), cfg, traffic).run().summary
+        analytical = best.total_latency + NI_OVERHEAD_CYCLES - 1.0  # L_S offset
+        assert s.avg_network_latency == pytest.approx(analytical, rel=0.15)
+
+
+class TestParsecEndToEnd:
+    def test_parsec_workload_runs_and_reports_power(self):
+        topo = MeshTopology.mesh(8)
+        cfg = SimConfig(
+            flit_bits=256,
+            warmup_cycles=200,
+            measure_cycles=800,
+            max_cycles=20_000,
+            seed=9,
+        )
+        traffic = parsec_traffic("ferret", 8, rng=9)
+        result = Simulator(topo, cfg, traffic).run()
+        assert result.drained
+        report = power_report(topo, cfg, result.activity, result.cycles_run)
+        assert report.total_w > 0
+        # The paper's observation: static dominates at PARSEC loads.
+        assert report.static.total_w > report.dynamic_w
+
+
+class TestReadmeQuickstart:
+    def test_documented_flow(self):
+        sweep = optimize(4, method="dc_sa", params=QUICK, rng=2019)
+        best = sweep.best
+        assert best.link_limit in (1, 2, 4)
+        topology = MeshTopology.uniform(best.placement)
+        assert topology.num_nodes == 16
+
+
+class TestCrossSolverConsistency:
+    def test_three_methods_agree_on_tiny_instance(self):
+        from repro import exhaustive_matrix_search, solve_row_problem
+        from repro.core.latency import RowObjective
+
+        obj = RowObjective()
+        exact = exhaustive_matrix_search(5, 2, obj)
+        dc = solve_row_problem(5, 2, method="dc_sa", objective=obj, params=QUICK, rng=1)
+        only = solve_row_problem(5, 2, method="only_sa", objective=obj, params=QUICK, rng=1)
+        assert dc.energy == pytest.approx(exact.energy)
+        assert only.energy == pytest.approx(exact.energy)

@@ -1,0 +1,99 @@
+"""Persistence round-trip tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.optimizer import design_point
+from repro.io import (
+    design_point_from_dict,
+    design_point_to_dict,
+    load_placement,
+    load_sweep,
+    load_topology,
+    placement_from_dict,
+    placement_to_dict,
+    save_placement,
+    save_sweep,
+    save_topology,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.core.annealing import AnnealingParams
+from repro.core.optimizer import optimize
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+from tests.conftest import row_placements
+
+
+class TestPlacementIO:
+    def test_file_round_trip(self, tmp_path):
+        p = RowPlacement(8, frozenset({(0, 4), (1, 3)}))
+        save_placement(p, tmp_path / "p.json")
+        assert load_placement(tmp_path / "p.json") == p
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            placement_from_dict({"kind": "banana"})
+
+    def test_json_is_stable(self, tmp_path):
+        p = RowPlacement(6, frozenset({(0, 3)}))
+        save_placement(p, tmp_path / "p.json")
+        data = json.loads((tmp_path / "p.json").read_text())
+        assert data["express_links"] == [[0, 3]]
+        assert data["schema"] == 1
+
+
+class TestDesignPointIO:
+    def test_round_trip(self):
+        point = design_point(RowPlacement(8, frozenset({(0, 4)})), 2)
+        again = design_point_from_dict(design_point_to_dict(point))
+        assert again == point
+
+    def test_kind_checked(self):
+        with pytest.raises(ConfigurationError):
+            design_point_from_dict({"kind": "row_placement"})
+
+
+class TestSweepIO:
+    def test_round_trip(self, tmp_path):
+        sweep = optimize(
+            4,
+            params=AnnealingParams(total_moves=200, moves_per_cooldown=50),
+            rng=1,
+        )
+        save_sweep(sweep, tmp_path / "sweep.json")
+        again = load_sweep(tmp_path / "sweep.json")
+        assert again.n == sweep.n
+        assert set(again.points) == set(sweep.points)
+        assert again.best.total_latency == pytest.approx(sweep.best.total_latency)
+        assert again.best.placement == sweep.best.placement
+
+    def test_kind_checked(self):
+        with pytest.raises(ConfigurationError):
+            sweep_from_dict({"kind": "design_point"})
+
+
+class TestTopologyIO:
+    def test_square_round_trip(self, tmp_path):
+        topo = MeshTopology.uniform(RowPlacement(4, frozenset({(0, 2)})))
+        save_topology(topo, tmp_path / "t.json")
+        assert load_topology(tmp_path / "t.json") == topo
+
+    def test_rect_round_trip(self, tmp_path):
+        topo = MeshTopology.rectangular(
+            RowPlacement(6, frozenset({(0, 3)})), RowPlacement.mesh(3)
+        )
+        save_topology(topo, tmp_path / "t.json")
+        again = load_topology(tmp_path / "t.json")
+        assert again.n == 6 and again.height == 3
+        assert again == topo
+
+
+@settings(max_examples=40, deadline=None)
+@given(row_placements())
+def test_placement_dict_round_trip_property(p):
+    assert placement_from_dict(placement_to_dict(p)) == p

@@ -1,0 +1,103 @@
+"""ASCII visualization tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.viz import (
+    render_cross_sections,
+    render_degree_histogram,
+    render_latency_matrix,
+    render_mesh_radix,
+    render_row,
+    summarize_topology,
+)
+
+from tests.conftest import row_placements
+
+
+class TestRenderRow:
+    def test_mesh_row_is_just_routers(self):
+        out = render_row(RowPlacement.mesh(4))
+        assert out == "[0] [1] [2] [3]"
+
+    def test_express_arcs_drawn(self):
+        out = render_row(RowPlacement(4, frozenset({(0, 3)})))
+        lines = out.splitlines()
+        assert lines[-1].startswith("[0]")
+        assert "+" in lines[0] and "-" in lines[0]
+
+    def test_longest_link_on_top(self):
+        p = RowPlacement(6, frozenset({(0, 5), (1, 3)}))
+        lines = render_row(p).splitlines()
+        assert lines[0].count("-") > lines[1].count("-")
+
+
+class TestCrossSections:
+    def test_counts_rendered(self):
+        out = render_cross_sections(RowPlacement(4, frozenset({(0, 2)})), limit=2)
+        assert "##" in out
+        assert "/ 2" in out
+
+    def test_without_limit(self):
+        out = render_cross_sections(RowPlacement.mesh(4))
+        assert "(1)" in out
+
+
+class TestMeshViews:
+    def test_radix_grid_shape(self):
+        out = render_mesh_radix(MeshTopology.mesh(4))
+        assert len(out.splitlines()) == 4
+        assert out.splitlines()[0].split() == ["2", "3", "3", "2"]
+
+    def test_rect_radix_grid(self):
+        out = render_mesh_radix(MeshTopology.rect_mesh(5, 3))
+        assert len(out.splitlines()) == 3
+        assert len(out.splitlines()[0].split()) == 5
+
+    def test_degree_histogram(self):
+        out = render_degree_histogram(MeshTopology.mesh(4))
+        assert "average radix: 3.00" in out
+
+    def test_summary_mentions_structure(self):
+        p = RowPlacement(4, frozenset({(0, 2)}))
+        out = summarize_topology(MeshTopology.uniform(p))
+        assert "16 routers" in out
+        assert "express" in out
+
+
+class TestDot:
+    def test_dot_structure(self):
+        from repro.viz import to_dot
+
+        p = RowPlacement(4, frozenset({(0, 3)}))
+        dot = to_dot(MeshTopology.uniform(p))
+        assert dot.startswith("graph noc {") and dot.endswith("}")
+        assert 'label="3"' in dot  # express link length labeled
+        assert dot.count("--") == 2 * 4 * 3 + 8  # all channels drawn
+
+    def test_dot_without_locals(self):
+        from repro.viz import to_dot
+
+        p = RowPlacement(4, frozenset({(0, 3)}))
+        dot = to_dot(MeshTopology.uniform(p), include_locals=False)
+        assert dot.count("--") == 8  # express links only
+
+
+class TestLatencyMatrix:
+    def test_diagonal_zero(self):
+        out = render_latency_matrix(RowPlacement.mesh(4))
+        rows = out.splitlines()[1:]
+        assert rows[0].split("|")[1].split()[0] == "0"
+
+    def test_contains_all_rows(self):
+        out = render_latency_matrix(RowPlacement.mesh(5))
+        assert len(out.splitlines()) == 6
+
+
+@settings(max_examples=30, deadline=None)
+@given(row_placements(max_n=8))
+def test_render_row_never_crashes(p):
+    out = render_row(p)
+    assert out.splitlines()[-1].startswith("[0]")

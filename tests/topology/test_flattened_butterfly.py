@@ -1,0 +1,64 @@
+"""Tests for the flattened butterfly and HFB baselines."""
+
+import pytest
+
+from repro.topology.flattened_butterfly import (
+    flattened_butterfly_row,
+    hybrid_flattened_butterfly,
+    hybrid_flattened_butterfly_row,
+    required_link_limit,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestFlattenedButterflyRow:
+    def test_fb_row_is_fully_connected(self):
+        row = flattened_butterfly_row(4)
+        # All 4 routers mutually connected; express = non-adjacent pairs.
+        assert row.express_links == frozenset({(0, 2), (0, 3), (1, 3)})
+
+    def test_fb_required_limit_matches_eq4(self):
+        # C_full = n^2 / 4 for the fully connected row.
+        for n in (4, 6, 8):
+            row = flattened_butterfly_row(n)
+            assert required_link_limit(row) == (n // 2) * ((n + 1) // 2)
+
+
+class TestHybridFlattenedButterfly:
+    def test_small_network_degenerates_to_fb(self):
+        assert hybrid_flattened_butterfly_row(4) == flattened_butterfly_row(4)
+
+    def test_8x8_structure(self):
+        row = hybrid_flattened_butterfly_row(8)
+        # Full connectivity inside halves only.
+        assert (0, 3) in row.express_links
+        assert (4, 7) in row.express_links
+        assert (3, 5) not in row.express_links
+        assert (0, 7) not in row.express_links
+
+    def test_seam_is_single_local_link(self):
+        row = hybrid_flattened_butterfly_row(8)
+        assert row.cross_section_counts()[3] == 1  # only the local link
+
+    def test_required_limit_8(self):
+        # Fully connected half of 4 -> worst cross-section 4.
+        assert required_link_limit(hybrid_flattened_butterfly_row(8)) == 4
+
+    def test_required_limit_16(self):
+        # Fully connected half of 8 -> worst cross-section 16.
+        assert required_link_limit(hybrid_flattened_butterfly_row(16)) == 16
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hybrid_flattened_butterfly_row(7)
+
+    def test_2d_topology_builds(self):
+        topo = hybrid_flattened_butterfly(8)
+        assert topo.num_nodes == 64
+        assert topo.max_cross_section() == 4
+
+    def test_quadrant_bottleneck(self):
+        # The seam column between quadrants carries only local links:
+        # exactly n links cross the vertical mid-line.
+        topo = hybrid_flattened_butterfly(8)
+        assert topo.bisection_links() == 8

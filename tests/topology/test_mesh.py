@@ -1,0 +1,120 @@
+"""Tests for the 2D MeshTopology."""
+
+import pytest
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+
+class TestCoordinates:
+    def test_round_trip(self):
+        topo = MeshTopology.mesh(5)
+        for node in range(25):
+            x, y = topo.coords(node)
+            assert topo.node_id(x, y) == node
+
+    def test_num_nodes(self):
+        assert MeshTopology.mesh(4).num_nodes == 16
+
+
+class TestConstruction:
+    def test_uniform_replicates(self):
+        p = RowPlacement(4, frozenset({(0, 2)}))
+        topo = MeshTopology.uniform(p)
+        assert all(rp == p for rp in topo.row_placements)
+        assert all(cp == p for cp in topo.col_placements)
+
+    def test_size_mismatch_rejected(self):
+        p4, p5 = RowPlacement.mesh(4), RowPlacement.mesh(5)
+        with pytest.raises(ConfigurationError):
+            MeshTopology(4, (p4,) * 4, (p5,) * 4)
+
+    def test_count_mismatch_rejected(self):
+        p = RowPlacement.mesh(4)
+        with pytest.raises(ConfigurationError):
+            MeshTopology(4, (p,) * 3, (p,) * 4)
+
+    def test_per_dimension(self):
+        rows = [RowPlacement.mesh(4)] * 4
+        cols = [RowPlacement(4, frozenset({(0, 2)}))] * 4
+        topo = MeshTopology.per_dimension(rows, cols)
+        assert topo.col_placements[0].express_links == frozenset({(0, 2)})
+
+
+class TestChannels:
+    def test_plain_mesh_channel_count(self):
+        # n x n mesh: 2 * n * (n-1) bidirectional links.
+        topo = MeshTopology.mesh(4)
+        assert len(topo.channels()) == 2 * 4 * 3
+
+    def test_express_channels_added(self):
+        p = RowPlacement(4, frozenset({(0, 3)}))
+        topo = MeshTopology.uniform(p)
+        # 4 extra per dimension (one per row + one per column).
+        assert len(topo.channels()) == 2 * 4 * 3 + 8
+
+    def test_channel_length(self):
+        p = RowPlacement(4, frozenset({(0, 3)}))
+        topo = MeshTopology.uniform(p)
+        assert topo.channel_length(0, 3) == 3
+        assert topo.channel_length(0, 1) == 1
+        assert topo.channel_length(0, 12) == 3  # column link, nodes (0,0)-(0,3)
+
+    def test_channel_length_rejects_diagonal(self):
+        topo = MeshTopology.mesh(4)
+        with pytest.raises(ConfigurationError):
+            topo.channel_length(0, 5)
+
+    def test_dims_tagged(self):
+        topo = MeshTopology.mesh(3)
+        dims = {d for _, _, d in topo.channels()}
+        assert dims == {"x", "y"}
+
+
+class TestNeighbors:
+    def test_interior_mesh_node(self):
+        topo = MeshTopology.mesh(4)
+        node = topo.node_id(1, 1)  # 5
+        assert sorted(topo.neighbors(node)) == [1, 4, 6, 9]
+
+    def test_row_and_col_split(self):
+        p = RowPlacement(4, frozenset({(0, 2)}))
+        topo = MeshTopology.uniform(p)
+        assert set(topo.row_neighbors(0)) == {1, 2}
+        assert set(topo.col_neighbors(0)) == {4, 8}
+
+    def test_radix(self):
+        topo = MeshTopology.mesh(4)
+        assert topo.radix(0) == 2          # corner
+        assert topo.radix(topo.node_id(1, 1)) == 4  # interior
+
+    def test_radix_with_express(self):
+        p = RowPlacement(4, frozenset({(0, 2), (0, 3), (1, 3)}))
+        topo = MeshTopology.uniform(p)
+        # corner (0,0): row deg 3 (1,2,3) + col deg 3 = 6
+        assert topo.radix(0) == 6
+
+
+class TestAggregates:
+    def test_bisection_links_mesh(self):
+        assert MeshTopology.mesh(8).bisection_links() == 8
+
+    def test_bisection_links_full_row(self):
+        topo = MeshTopology.uniform(RowPlacement.fully_connected(4))
+        # C_full = 4 per row x 4 rows.
+        assert topo.bisection_links() == 16
+
+    def test_max_cross_section(self):
+        topo = MeshTopology.uniform(RowPlacement.fully_connected(4))
+        assert topo.max_cross_section() == 4
+
+    def test_degree_histogram_totals(self):
+        topo = MeshTopology.mesh(4)
+        hist = topo.degree_histogram()
+        assert sum(hist.values()) == 16
+        assert hist == {2: 4, 3: 8, 4: 4}
+
+    def test_average_radix_mesh(self):
+        # 4 corners*2 + 8 edges*3 + 4 interior*4 = 48 -> 3.0
+        assert MeshTopology.mesh(4).average_radix() == pytest.approx(3.0)

@@ -1,0 +1,51 @@
+"""Tests for topology audits."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.topology.validate import audit_mesh, audit_row, check_connected
+from repro.util.errors import InvalidPlacementError
+
+from tests.conftest import row_placements
+
+
+class TestAuditRow:
+    def test_mesh_audit(self):
+        report = audit_row(RowPlacement.mesh(8), limit=1)
+        assert report["max_cross_section"] == 1
+        assert report["utilization"] == 1.0
+        assert report["num_express_links"] == 0
+
+    def test_violation_raises(self):
+        p = RowPlacement(6, frozenset({(0, 2), (0, 3), (1, 3)}))
+        with pytest.raises(InvalidPlacementError):
+            audit_row(p, limit=3)
+
+    def test_utilization_below_one_when_underused(self):
+        p = RowPlacement(8, frozenset({(0, 2)}))
+        report = audit_row(p, limit=4)
+        assert 0 < report["utilization"] < 1
+
+
+class TestAuditMesh:
+    def test_mesh_audit_aggregates(self):
+        report = audit_mesh(MeshTopology.mesh(4), limit=1)
+        assert report["max_cross_section"] == 1
+        assert report["bisection_links"] == 4
+        assert len(report["per_dimension"]) == 8
+
+    def test_mesh_audit_names_offender(self):
+        rows = [RowPlacement.mesh(4)] * 4
+        cols = list(rows)
+        cols[2] = RowPlacement(4, frozenset({(0, 2)}))
+        topo = MeshTopology.per_dimension(rows, cols)
+        with pytest.raises(InvalidPlacementError, match="col 2"):
+            audit_mesh(topo, limit=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(row_placements())
+def test_every_placement_connected(p):
+    assert check_connected(p)

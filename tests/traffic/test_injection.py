@@ -1,0 +1,91 @@
+"""Traffic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import PacketMix
+from repro.traffic.injection import (
+    CombinedTraffic,
+    MatrixTraffic,
+    SyntheticTraffic,
+    TraceTraffic,
+)
+from repro.traffic.patterns import make_pattern
+from repro.util.errors import ConfigurationError
+
+
+class TestSyntheticTraffic:
+    def test_rate_zero_generates_nothing(self):
+        tr = SyntheticTraffic(make_pattern("uniform_random", 4), rate=0.0, rng=0)
+        assert list(tr.packets_for_cycle(0)) == []
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraffic(make_pattern("uniform_random", 4), rate=1.5)
+
+    def test_mean_rate_approximately_right(self):
+        tr = SyntheticTraffic(make_pattern("uniform_random", 4), rate=0.25, rng=1)
+        total = sum(len(list(tr.packets_for_cycle(c))) for c in range(2_000))
+        expected = 0.25 * 16 * 2_000
+        assert abs(total - expected) / expected < 0.05
+
+    def test_stop_cycle(self):
+        tr = SyntheticTraffic(
+            make_pattern("uniform_random", 4), rate=0.5, rng=1, stop_cycle=10
+        )
+        assert list(tr.packets_for_cycle(10)) == []
+        assert list(tr.packets_for_cycle(99)) == []
+
+    def test_sizes_from_mix(self):
+        mix = PacketMix(((512, 0.5), (128, 0.5)))
+        tr = SyntheticTraffic(make_pattern("uniform_random", 4), rate=1.0, rng=1, mix=mix)
+        sizes = {s for c in range(50) for _, _, s in tr.packets_for_cycle(c)}
+        assert sizes == {512, 128}
+
+
+class TestMatrixTraffic:
+    def test_diagonal_ignored(self):
+        g = np.eye(16)
+        with pytest.raises(ConfigurationError):
+            MatrixTraffic(g, aggregate_rate=1.0)  # all mass on diagonal -> empty
+
+    def test_flows_follow_matrix(self):
+        g = np.zeros((16, 16))
+        g[2, 9] = 1.0
+        tr = MatrixTraffic(g, aggregate_rate=0.5, rng=3)
+        events = [e for c in range(500) for e in tr.packets_for_cycle(c)]
+        assert events
+        assert all(src == 2 and dst == 9 for src, dst, _ in events)
+
+    def test_aggregate_rate_respected(self):
+        g = np.ones((16, 16))
+        tr = MatrixTraffic(g, aggregate_rate=2.0, rng=3)
+        total = sum(len(list(tr.packets_for_cycle(c))) for c in range(2_000))
+        assert abs(total - 4_000) / 4_000 < 0.05
+
+    def test_per_node_rate_capped(self):
+        g = np.zeros((16, 16))
+        g[0, 1] = 1.0
+        with pytest.raises(ConfigurationError):
+            MatrixTraffic(g, aggregate_rate=1.5)  # node 0 alone would exceed 1
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatrixTraffic(np.ones((4, 5)), 0.1)
+
+
+class TestTraceTraffic:
+    def test_replay_exact(self):
+        tr = TraceTraffic([(3, 0, 5, 128), (3, 1, 6, 512), (7, 2, 3, 128)])
+        assert tr.packets_for_cycle(3) == [(0, 5, 128), (1, 6, 512)]
+        assert tr.packets_for_cycle(7) == [(2, 3, 128)]
+        assert tr.packets_for_cycle(4) == []
+        assert tr.num_events == 3
+
+
+class TestCombinedTraffic:
+    def test_superposition(self):
+        a = TraceTraffic([(0, 0, 1, 128)])
+        b = TraceTraffic([(0, 2, 3, 512)])
+        combined = CombinedTraffic([a, b])
+        assert list(combined.packets_for_cycle(0)) == [(0, 1, 128), (2, 3, 512)]

@@ -1,0 +1,31 @@
+"""Packet-size sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import PacketMix
+from repro.traffic.packets import PacketSizeSampler
+
+
+class TestSampler:
+    def test_single_size(self):
+        sampler = PacketSizeSampler(PacketMix.single(256))
+        rng = np.random.default_rng(0)
+        assert all(sampler.sample(rng) == 256 for _ in range(20))
+
+    def test_fractions_respected(self):
+        sampler = PacketSizeSampler()  # paper default 0.2 / 0.8
+        rng = np.random.default_rng(0)
+        sizes = sampler.sample_many(20_000, rng)
+        long_frac = (sizes == 512).mean()
+        assert abs(long_frac - 0.2) < 0.02
+
+    def test_sample_many_matches_domain(self):
+        sampler = PacketSizeSampler()
+        rng = np.random.default_rng(0)
+        assert set(np.unique(sampler.sample_many(1_000, rng))) <= {128, 512}
+
+    def test_expected_flits(self):
+        sampler = PacketSizeSampler()
+        assert sampler.expected_flits(256) == pytest.approx(1.2)
+        assert sampler.expected_flits(64) == pytest.approx(0.2 * 8 + 0.8 * 2)

@@ -1,0 +1,80 @@
+"""PARSEC workload model tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.parsec import (
+    PARSEC_NAMES,
+    PARSEC_WORKLOADS,
+    WorkloadModel,
+    memory_controller_nodes,
+    parsec_traffic,
+    workload_gamma,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestWorkloadRegistry:
+    def test_ten_benchmarks(self):
+        assert len(PARSEC_NAMES) == 10
+        assert "blackscholes" in PARSEC_NAMES and "x264" in PARSEC_NAMES
+
+    def test_low_injection_rates(self):
+        # The paper stresses real applications keep NoCs far below
+        # saturation; all models must be low-load.
+        for model in PARSEC_WORKLOADS.values():
+            assert model.rate_per_node <= 0.05
+
+    def test_long_fraction_near_one_to_four(self):
+        for model in PARSEC_WORKLOADS.values():
+            assert 0.1 <= model.long_fraction <= 0.3
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadModel("bad", 0.01, locality=0.7, locality_scale=2, hotspot=0.5)
+
+
+class TestGamma:
+    def test_normalized_and_diagonal_free(self):
+        g = workload_gamma(PARSEC_WORKLOADS["canneal"], 8)
+        assert g.sum() == pytest.approx(1.0)
+        assert np.diag(g).sum() == 0.0
+        assert (g >= 0).all()
+
+    def test_hotspots_attract_traffic(self):
+        g = workload_gamma(PARSEC_WORKLOADS["dedup"], 8)
+        mcs = memory_controller_nodes(8)
+        col_mass = g.sum(axis=0)
+        non_mc = [v for v in range(64) if v not in mcs]
+        assert col_mass[list(mcs)].mean() > 2 * col_mass[non_mc].mean()
+
+    def test_locality_biases_near_pairs(self):
+        g = workload_gamma(PARSEC_WORKLOADS["fluidanimate"], 8)
+        # Node 9's neighbor (node 10) gets more than a far node (node 63).
+        assert g[9, 10] > g[9, 62]
+
+    def test_memory_controllers_at_corners(self):
+        assert memory_controller_nodes(4) == (0, 3, 12, 15)
+
+
+class TestParsecTraffic:
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            parsec_traffic("quake", 8)
+
+    def test_generator_produces_flows(self):
+        tr = parsec_traffic("canneal", 4, rng=1)
+        events = [e for c in range(500) for e in tr.packets_for_cycle(c)]
+        assert events
+        srcs = {s for s, _, _ in events}
+        assert len(srcs) > 4  # traffic from many nodes
+
+    def test_rate_scale(self):
+        base = parsec_traffic("vips", 4, rng=1)
+        double = parsec_traffic("vips", 4, rng=1, rate_scale=2.0)
+        assert double.node_rates.sum() == pytest.approx(2 * base.node_rates.sum())
+
+    def test_sizes_match_mix(self):
+        tr = parsec_traffic("x264", 4, rng=1)
+        sizes = {s for c in range(300) for _, _, s in tr.packets_for_cycle(c)}
+        assert sizes <= {128, 512}

@@ -1,0 +1,110 @@
+"""Synthetic traffic pattern tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.patterns import (
+    PAPER_PATTERNS,
+    PATTERNS,
+    make_pattern,
+    pattern_matrix,
+)
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRegistry:
+    def test_paper_patterns_registered(self):
+        for name in PAPER_PATTERNS:
+            assert name in PATTERNS
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("nope", 8)
+
+    def test_all_patterns_instantiable(self):
+        for name in PATTERNS:
+            make_pattern(name, 8)
+
+
+class TestDeterministicPatterns:
+    def test_transpose(self, rng):
+        tp = make_pattern("transpose", 4)
+        # (1, 0) = node 1 -> (0, 1) = node 4.
+        assert tp(1, rng) == 4
+        # Diagonal is silent.
+        assert tp(0, rng) is None
+        assert tp(5, rng) is None
+
+    def test_bit_reverse(self, rng):
+        br = make_pattern("bit_reverse", 4)  # 16 nodes, 4 bits
+        assert br(1, rng) == 8  # 0001 -> 1000
+        assert br(0b0011, rng) == 0b1100
+        assert br(0, rng) is None  # palindrome
+
+    def test_bit_complement(self, rng):
+        bc = make_pattern("bit_complement", 4)
+        assert bc(0, rng) == 15
+        assert bc(5, rng) == 10
+
+    def test_shuffle(self, rng):
+        sh = make_pattern("shuffle", 4)
+        assert sh(0b1000, rng) == 0b0001
+        assert sh(0b0110, rng) == 0b1100
+
+    def test_neighbor(self, rng):
+        nb = make_pattern("neighbor", 4)
+        assert nb(0, rng) == 1
+        assert nb(3, rng) == 0  # wraps within the row
+
+    def test_tornado(self, rng):
+        tn = make_pattern("tornado", 8)
+        # (0,0) -> (3,0): shift n/2 - 1 = 3.
+        assert tn(0, rng) == 3
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("bit_reverse", 6)
+        with pytest.raises(ConfigurationError):
+            make_pattern("shuffle", 6)
+
+
+class TestStochasticPatterns:
+    def test_uniform_never_self(self, rng):
+        ur = make_pattern("uniform_random", 4)
+        for _ in range(300):
+            assert ur(5, rng) != 5
+
+    def test_uniform_covers_all(self, rng):
+        ur = make_pattern("uniform_random", 4)
+        seen = {ur(0, rng) for _ in range(2_000)}
+        assert seen == set(range(1, 16))
+
+    def test_hotspot_bias(self, rng):
+        hs = make_pattern("hotspot", 4, hotspots=(15,), fraction=0.5)
+        hits = sum(1 for _ in range(2_000) if hs(0, rng) == 15)
+        # ~50% + uniform share; comfortably above uniform's ~6.7%.
+        assert hits > 700
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("hotspot", 4, fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            make_pattern("hotspot", 4, hotspots=(99,))
+
+
+class TestPatternMatrix:
+    def test_normalized(self, rng):
+        m = pattern_matrix(make_pattern("transpose", 4), samples_per_node=8, rng=rng)
+        assert m.sum() == pytest.approx(1.0)
+        assert m.shape == (16, 16)
+
+    def test_deterministic_pattern_concentrated(self, rng):
+        m = pattern_matrix(make_pattern("transpose", 4), samples_per_node=4, rng=rng)
+        # All of node 1's mass on node 4.
+        assert m[1, 4] > 0
+        assert m[1].sum() == pytest.approx(m[1, 4])
