@@ -10,6 +10,10 @@ Runs the paper's full flow on one network size:
 4. validate the winner in the cycle-accurate simulator against the
    plain mesh baseline.
 
+The whole run is observed through the in-memory instrumentation sink:
+the end prints how the search behaved (moves, acceptance, memo-cache
+hit ratio) alongside the design-quality numbers.
+
 Usage::
 
     python examples/quickstart.py [--n 8] [--quick]
@@ -27,6 +31,7 @@ from repro import (
 )
 from repro.core.annealing import AnnealingParams
 from repro.harness.tables import pct_change, render_table
+from repro.obs import Instrumentation, MemorySink
 
 
 def main() -> None:
@@ -45,7 +50,9 @@ def main() -> None:
     )
 
     print(f"Optimizing express-link placement for a {args.n}x{args.n} mesh...")
-    sweep = optimize(args.n, method="dc_sa", params=params, rng=args.seed)
+    sink = MemorySink()
+    obs = Instrumentation(sinks=[sink])
+    sweep = optimize(args.n, method="dc_sa", params=params, rng=args.seed, obs=obs)
 
     rows = []
     for c, point in sorted(sweep.points.items()):
@@ -70,6 +77,16 @@ def main() -> None:
     best = sweep.best
     print(f"\nBest design: C={best.link_limit}, flit={best.flit_bits}b")
     print(f"Row placement: {best.placement}")
+
+    # What the search did, from the instrumentation attached above: the
+    # sink captured every structured event; the registry aggregated them.
+    kinds = sink.kinds()
+    print(
+        f"\nObserved {len(sink)} events "
+        f"({kinds.get('sa.stage', 0)} SA stage reports, "
+        f"{kinds.get('sa.best', 0)} new-best improvements)"
+    )
+    print(obs.metrics_summary())
 
     print("\nValidating in the cycle-accurate simulator (uniform random, low load)...")
 

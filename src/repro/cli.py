@@ -6,7 +6,14 @@ Gives downstream users the paper's flow without writing Python:
 * ``solve``    -- solve a single ``P~(n, C)`` instance,
 * ``simulate`` -- run the cycle-accurate simulator on a chosen scheme,
 * ``inspect``  -- show a placement's structure, matrix and audits,
-* ``experiments`` -- list the paper-figure regenerators.
+* ``experiments`` -- list the paper-figure regenerators,
+* ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``.
+
+Observability flags (``optimize`` / ``solve`` / ``simulate``):
+``--trace-out PATH`` streams structured events as JSON Lines,
+``--metrics-every N`` sets the periodic sample interval (simulator
+heartbeats, SA progress events), ``--profile`` prints the span profile
+and metrics summary after the run.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ from repro.core.connection_matrix import ConnectionMatrix
 from repro.core.optimizer import optimize, solve_row_problem
 from repro.harness.designs import EFFORTS, hfb_design, mesh_design
 from repro.harness.tables import pct_change, render_table
+from repro.obs import Instrumentation, JsonlSink, report_file
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.topology.validate import audit_row
+from repro.util.errors import ConfigurationError
 from repro.traffic.injection import SyntheticTraffic
 from repro.traffic.parsec import PARSEC_NAMES, parsec_traffic
 from repro.traffic.patterns import PATTERNS, make_pattern
@@ -34,9 +43,56 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write structured events to PATH as JSON Lines",
+    )
+    p.add_argument(
+        "--metrics-every", type=int, default=500, metavar="N",
+        help="periodic sample interval (simulator cycles / SA moves)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="time spans and print the profile + metrics summary",
+    )
+
+
+def _make_obs(args: argparse.Namespace) -> Optional[Instrumentation]:
+    """Build the run's instrumentation from CLI flags (None if unused)."""
+    if not (args.trace_out or args.profile):
+        return None
+    sinks = []
+    if args.trace_out:
+        try:  # fail fast, before the run, if the path is unwritable
+            open(args.trace_out, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2) from exc
+        sinks.append(JsonlSink(args.trace_out))
+    return Instrumentation(sinks=sinks, profile=args.profile)
+
+
+def _finish_obs(obs: Optional[Instrumentation], args: argparse.Namespace) -> None:
+    """Flush sinks and print requested end-of-run summaries."""
+    if obs is None:
+        return
+    obs.close()
+    if args.profile:
+        print()
+        print(obs.profile_table())
+        print(obs.metrics_summary())
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out} "
+              f"(summarize with: repro trace-report {args.trace_out})")
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     sweep = optimize(
-        args.n, method=args.method, params=EFFORTS[args.effort], rng=args.seed
+        args.n, method=args.method, params=EFFORTS[args.effort], rng=args.seed,
+        obs=obs,
     )
     if args.save:
         from repro.io import save_sweep
@@ -68,25 +124,31 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
           f"total={best.total_latency:.2f} cycles "
           f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
     print(f"row placement: {sorted(best.placement.express_links)}")
+    _finish_obs(obs, args)
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     sol = solve_row_problem(
         args.n,
         args.c,
         method=args.method,
         params=EFFORTS[args.effort],
         rng=args.seed,
+        obs=obs,
+        progress_every=args.metrics_every,
     )
     print(f"P~({args.n},{args.c}) [{args.method}]")
     print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
     print(f"  express links: {sorted(sol.placement.express_links)}")
     print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
+    _finish_obs(obs, args)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     if args.scheme == "mesh":
         design = mesh_design(args.n)
     elif args.scheme == "hfb":
@@ -111,7 +173,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             rate=args.rate,
             rng=args.seed,
         )
-    result = Simulator(design.topology, cfg, traffic).run()
+    result = Simulator(
+        design.topology, cfg, traffic, obs=obs, metrics_every=args.metrics_every
+    ).run()
     s = result.summary
     print(f"{design.name} on {args.n}x{args.n}, workload={args.workload}")
     print(f"  packets measured: {s.packets} (drained: {result.drained})")
@@ -119,6 +183,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  avg head latency:    {s.avg_head_latency:.2f} cycles")
     print(f"  avg serialization:   {s.avg_serialization_latency:.2f} cycles")
     print(f"  throughput:          {s.throughput_packets_per_cycle:.3f} packets/cycle")
+    _finish_obs(obs, args)
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    try:
+        print(report_file(args.trace, k=args.top))
+    except (OSError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -202,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("dc_sa", "only_sa"), default="dc_sa")
     p.add_argument("--save", metavar="FILE", help="write the sweep as JSON")
     _add_common(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
@@ -217,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--c", type=int, default=4)
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
     _add_common(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("simulate", help="cycle-accurate simulation of a scheme")
@@ -232,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=500)
     p.add_argument("--measure", type=int, default=2_000)
     _add_common(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("inspect", help="show a placement's structure")
@@ -243,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="list paper-figure regenerators")
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "trace-report", help="summarize a JSONL trace written by --trace-out"
+    )
+    p.add_argument("trace", help="path to a JSONL trace file")
+    p.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="entries per ranked section (spans, link utilization)",
+    )
+    p.set_defaults(func=_cmd_trace_report)
 
     return parser
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.connection_matrix import ConnectionMatrix
+from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.topology.row import RowPlacement
 from repro.util.rngtools import ensure_rng
 
@@ -87,23 +88,52 @@ class MemoizedObjective:
     same placement), and distinct matrices can decode identically; the
     cache turns those repeats into dictionary hits.  Also counts true
     evaluations for runtime normalization (Figure 7).
+
+    The cache is bounded: once it holds ``max_size`` entries it is
+    cleared wholesale, so long multi-restart sweeps cannot grow memory
+    without limit.  Clearing only costs recomputation -- the objective
+    is deterministic, so cached and recomputed energies agree and the
+    search trajectory is unaffected.
     """
 
-    def __init__(self, objective: Objective) -> None:
+    #: Default cache bound; ~10x the states a paper-sized run visits.
+    DEFAULT_MAX_SIZE = 100_000
+
+    def __init__(self, objective: Objective,
+                 max_size: int = DEFAULT_MAX_SIZE) -> None:
+        if max_size <= 0:
+            raise ValueError("memo cache size must be positive")
         self._objective = objective
         self._cache: dict = {}
+        self.max_size = max_size
         self.evaluations = 0
         self.calls = 0
+        self.hits = 0
+        self.misses = 0
+        self.overflows = 0
 
     def __call__(self, placement: RowPlacement) -> float:
         self.calls += 1
         hit = self._cache.get(placement)
         if hit is not None:
+            self.hits += 1
             return hit
         value = self._objective(placement)
+        self.misses += 1
+        if len(self._cache) >= self.max_size:
+            self._cache.clear()
+            self.overflows += 1
         self._cache[placement] = value
         self.evaluations += 1
         return value
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of calls answered from the cache."""
+        return self.hits / self.calls if self.calls else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def anneal(
@@ -113,6 +143,8 @@ def anneal(
     rng=None,
     max_evaluations: Optional[int] = None,
     trace_every: int = 1,
+    obs: Optional[Instrumentation] = None,
+    progress_every: int = 0,
 ) -> AnnealingResult:
     """Run simulated annealing from ``initial`` and return the best state.
 
@@ -131,9 +163,20 @@ def anneal(
         (Section 5.3).
     trace_every:
         Record the best-so-far energy every this many moves.
+    obs:
+        Optional :class:`~repro.obs.Instrumentation`.  With a sink
+        attached the run emits ``sa.start``, one ``sa.stage`` per
+        cooling stage (acceptance / uphill rates, best energy, memo hit
+        ratio), ``sa.best`` on every improvement and a final ``sa.end``.
+        Instrumentation never touches the RNG stream, so results are
+        identical with or without it.
+    progress_every:
+        With ``obs`` attached, additionally emit a ``sa.progress``
+        event every this many moves (0 disables).
     """
     params = params or AnnealingParams()
     gen = ensure_rng(rng)
+    obs = ensure_obs(obs)
     memo = MemoizedObjective(objective)
     state = initial.copy()
 
@@ -146,8 +189,23 @@ def anneal(
     accepted = 0
     uphill = 0
 
+    if obs.enabled:
+        obs.emit(
+            "sa.start",
+            move=0,
+            n=state.n,
+            link_limit=state.link_limit,
+            initial_energy=initial_energy,
+            total_moves=params.total_moves,
+            initial_temperature=params.initial_temperature,
+            moves_per_cooldown=params.moves_per_cooldown,
+        )
+
     if state.num_connection_points == 0:
         # C = 1 or n = 2: the mesh row is the only state.
+        if obs.enabled:
+            obs.emit("sa.end", move=0, best_energy=best_energy,
+                     evaluations=memo.evaluations, accepted=0, uphill=0)
         return AnnealingResult(
             best_placement=best_placement,
             best_energy=best_energy,
@@ -159,28 +217,85 @@ def anneal(
             trace=trace,
         )
 
+    # Per-cooling-stage accounting (reported via sa.stage events; the
+    # integer bumps are cheap enough to keep unconditionally).
+    stage = 0
+    stage_moves = stage_accepted = stage_uphill = 0
+
+    def _emit_stage(last_move: int) -> None:
+        obs.emit(
+            "sa.stage",
+            move=last_move,
+            stage=stage,
+            temperature=params.temperature(stage * params.moves_per_cooldown),
+            moves=stage_moves,
+            accepted=stage_accepted,
+            uphill=stage_uphill,
+            best_energy=best_energy,
+            current_energy=current_energy,
+            memo_hit_ratio=memo.hit_ratio,
+            evaluations=memo.evaluations,
+        )
+
+    move = 0
+    moves_done = 0
     for move in range(params.total_moves):
         if max_evaluations is not None and memo.evaluations >= max_evaluations:
             break
+        new_stage = move // params.moves_per_cooldown
+        if new_stage != stage:
+            if obs.enabled:
+                _emit_stage(move - 1)
+            stage = new_stage
+            stage_moves = stage_accepted = stage_uphill = 0
         row, layer = state.random_move(gen)
         state.flip(row, layer)
         candidate = state.decode()
         energy = memo(candidate)
         delta = energy - current_energy
+        stage_moves += 1
+        moves_done += 1
         if delta <= 0 or gen.random() < math.exp(-delta / params.temperature(move)):
             current_energy = energy
             accepted += 1
+            stage_accepted += 1
             if delta > 0:
                 uphill += 1
+                stage_uphill += 1
             if energy < best_energy:
                 best_energy = energy
                 best_placement = candidate
+                if obs.enabled:
+                    obs.emit("sa.best", move=move, energy=best_energy,
+                             evaluations=memo.evaluations)
         else:
             state.flip(row, layer)  # undo
         if move % trace_every == 0:
             trace.append((memo.evaluations, best_energy))
+        if progress_every and obs.enabled and move % progress_every == 0:
+            obs.emit("sa.progress", move=move,
+                     current_energy=current_energy, best_energy=best_energy,
+                     evaluations=memo.evaluations,
+                     memo_hit_ratio=memo.hit_ratio)
 
     trace.append((memo.evaluations, best_energy))
+    if obs.enabled:
+        if stage_moves:
+            _emit_stage(move)
+        obs.emit("sa.end", move=move, best_energy=best_energy,
+                 evaluations=memo.evaluations, accepted=accepted,
+                 uphill=uphill, memo_hit_ratio=memo.hit_ratio,
+                 wall_time_s=time.perf_counter() - start)
+    if not obs.is_null:
+        m = obs.metrics
+        m.counter("sa.moves").inc(moves_done)
+        m.counter("sa.accepted").inc(accepted)
+        m.counter("sa.uphill").inc(uphill)
+        m.counter("sa.evaluations").inc(memo.evaluations)
+        m.counter("sa.memo_hits").inc(memo.hits)
+        m.counter("sa.memo_misses").inc(memo.misses)
+        m.gauge("sa.memo_hit_ratio").set(memo.hit_ratio)
+        m.gauge("sa.best_energy").set(best_energy)
     return AnnealingResult(
         best_placement=best_placement,
         best_energy=best_energy,

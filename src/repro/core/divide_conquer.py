@@ -25,10 +25,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.annealing import MemoizedObjective, Objective
 from repro.core.branch_bound import effective_link_limit, exhaustive_matrix_search
+from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.topology.row import RowPlacement
+
+#: Upper bounds for the recursion-depth histogram.
+DC_DEPTH_BUCKETS = (1, 2, 3, 4, 6, 8)
 
 
 @dataclass(frozen=True)
@@ -59,15 +64,30 @@ def initial_solution(
     link_limit: int,
     objective: Objective,
     base_size: int = 4,
+    obs: Optional[Instrumentation] = None,
 ) -> InitialSolution:
-    """Run Procedure ``I(n, C)`` and return the seed placement."""
+    """Run Procedure ``I(n, C)`` and return the seed placement.
+
+    With ``obs`` attached, each recursion node is timed under the
+    ``dc.solve`` span and emits a ``dc.node`` event carrying its slice
+    and depth; depths also feed a ``dc.depth`` histogram.
+    """
     start = time.perf_counter()
+    obs = ensure_obs(obs)
     counter = {"evaluations": 0}
-    placement = _solve(0, n, effective_link_limit(n, link_limit), objective, base_size, counter)
-    limit = effective_link_limit(n, link_limit)
-    placement.validate(limit)
-    memo = MemoizedObjective(_slice_objective(objective, 0, n))
-    energy = memo(placement)
+    with obs.span("dc.initial_solution"):
+        placement = _solve(
+            0, n, effective_link_limit(n, link_limit), objective, base_size,
+            counter, obs, depth=0,
+        )
+        limit = effective_link_limit(n, link_limit)
+        placement.validate(limit)
+        memo = MemoizedObjective(_slice_objective(objective, 0, n))
+        energy = memo(placement)
+    if obs.enabled:
+        obs.emit("dc.done", n=n, link_limit=link_limit, energy=energy,
+                 evaluations=counter["evaluations"],
+                 wall_time_s=time.perf_counter() - start)
     return InitialSolution(
         placement=placement,
         energy=energy,
@@ -83,6 +103,8 @@ def _solve(
     objective: Objective,
     base_size: int,
     counter: dict,
+    obs: Instrumentation,
+    depth: int,
 ) -> RowPlacement:
     """Solve the slice ``[lo, hi)`` of the full row; 0-indexed result."""
     n = hi - lo
@@ -90,34 +112,43 @@ def _solve(
     if link_limit <= 1 or n < 3:
         return RowPlacement.mesh(n)
 
+    if obs.enabled:
+        obs.emit("dc.node", lo=lo, hi=hi, depth=depth, link_limit=link_limit)
+    if not obs.is_null:
+        obs.metrics.histogram("dc.depth", DC_DEPTH_BUCKETS).observe(depth)
+
     memo = MemoizedObjective(_slice_objective(objective, lo, hi))
     try:
         if n <= base_size:
             # Base case: exact enumeration (branch and bound per the paper).
-            return exhaustive_matrix_search(n, link_limit, memo).placement
+            with obs.span("dc.base_case"):
+                return exhaustive_matrix_search(n, link_limit, memo).placement
 
         left_n = (n + 1) // 2
-        left = _solve(lo, lo + left_n, link_limit - 1, objective, base_size, counter)
-        right = _solve(lo + left_n, hi, link_limit - 1, objective, base_size, counter)
+        left = _solve(lo, lo + left_n, link_limit - 1, objective,
+                      base_size, counter, obs, depth + 1)
+        right = _solve(lo + left_n, hi, link_limit - 1, objective,
+                       base_size, counter, obs, depth + 1)
         base = RowPlacement(
             n,
             left.shifted(0, n).express_links
             | right.shifted(left_n, n).express_links,
         )
 
-        best = base  # the bridging local link (left_n - 1, left_n) always exists
-        best_energy = memo(base)
-        for i in range(left_n):
-            for j in range(left_n, n):
-                if j - i < 2:
-                    continue  # adjacent pair: the local link already bridges
-                candidate = base.with_link(i, j)
-                if not candidate.satisfies_limit(link_limit):
-                    continue
-                energy = memo(candidate)
-                if energy < best_energy:
-                    best_energy = energy
-                    best = candidate
+        with obs.span("dc.combine"):
+            best = base  # the bridging local link (left_n - 1, left_n) always exists
+            best_energy = memo(base)
+            for i in range(left_n):
+                for j in range(left_n, n):
+                    if j - i < 2:
+                        continue  # adjacent pair: the local link already bridges
+                    candidate = base.with_link(i, j)
+                    if not candidate.satisfies_limit(link_limit):
+                        continue
+                    energy = memo(candidate)
+                    if energy < best_energy:
+                        best_energy = energy
+                        best = candidate
         return best
     finally:
         counter["evaluations"] += memo.evaluations

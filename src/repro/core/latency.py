@@ -27,8 +27,8 @@ This module provides:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -231,12 +231,24 @@ class RowObjective:
     objective is the (optionally traffic-weighted) mean row head
     latency.  Instances are cheap, immutable, and safe to share between
     search algorithms.
+
+    ``obs`` (excluded from equality/hash) attaches an
+    :class:`~repro.obs.Instrumentation`: every evaluation is then timed
+    under the ``latency.floyd_warshall`` span, which is how a profiled
+    run attributes optimizer wall time to the O(n^3) evaluator.
     """
 
     cost: HopCostModel = HopCostModel()
     weights: Tuple[Tuple[float, ...], ...] | None = None
+    obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __call__(self, placement: RowPlacement) -> float:
+        if self.obs is None:
+            return self._evaluate(placement)
+        with self.obs.span("latency.floyd_warshall"):
+            return self._evaluate(placement)
+
+    def _evaluate(self, placement: RowPlacement) -> float:
         w = None if self.weights is None else np.asarray(self.weights, dtype=float)
         if w is not None and w.sum() <= 0:
             # A slice with no traffic: fall back to the unweighted mean
@@ -256,7 +268,11 @@ class RowObjective:
         if self.weights is None:
             return self
         w = np.asarray(self.weights, dtype=float)[lo:hi, lo:hi]
-        return RowObjective(cost=self.cost, weights=tuple(map(tuple, w.tolist())))
+        return RowObjective(
+            cost=self.cost,
+            weights=tuple(map(tuple, w.tolist())),
+            obs=self.obs,
+        )
 
 
 # ----------------------------------------------------------------------

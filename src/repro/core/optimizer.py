@@ -40,6 +40,7 @@ from repro.core.latency import (
     RowObjective,
     network_average_latency,
 )
+from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.routing.shortest_path import HopCostModel
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
@@ -107,18 +108,31 @@ def solve_row_problem(
     params: AnnealingParams | None = None,
     rng=None,
     max_evaluations: Optional[int] = None,
+    obs: Optional[Instrumentation] = None,
+    progress_every: int = 0,
 ) -> RowSolution:
-    """Solve ``P~(n, C)`` with the chosen method."""
+    """Solve ``P~(n, C)`` with the chosen method.
+
+    ``obs`` flows into the D&C seeder, the annealer and (when no
+    explicit ``objective`` is given) the Floyd-Warshall evaluator, so a
+    single :class:`~repro.obs.Instrumentation` observes the whole
+    solve.  ``progress_every`` forwards to :func:`anneal`.
+    """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
-    objective = objective or RowObjective()
+    obs = ensure_obs(obs)
+    if objective is None:
+        objective = RowObjective(obs=None if obs.is_null else obs)
     params = params or AnnealingParams()
     gen = ensure_rng(rng)
     limit = effective_link_limit(n, link_limit)
     start = time.perf_counter()
+    if obs.enabled:
+        obs.emit("solve.start", n=n, link_limit=link_limit, method=method)
 
     if method == "exact":
-        exact = exhaustive_matrix_search(n, limit, objective)
+        with obs.span("solve.exact"):
+            exact = exhaustive_matrix_search(n, limit, objective)
         return RowSolution(
             n=n,
             link_limit=link_limit,
@@ -132,18 +146,21 @@ def solve_row_problem(
 
     seed: Optional[InitialSolution] = None
     if method == "dc_sa":
-        seed = initial_solution(n, limit, objective)
+        seed = initial_solution(n, limit, objective, obs=obs)
         matrix = ConnectionMatrix.from_placement(seed.placement, limit)
     else:  # only_sa
         matrix = ConnectionMatrix.random(n, limit, gen)
 
-    sa = anneal(
-        matrix,
-        objective,
-        params=params,
-        rng=gen,
-        max_evaluations=max_evaluations,
-    )
+    with obs.span("solve.anneal"):
+        sa = anneal(
+            matrix,
+            objective,
+            params=params,
+            rng=gen,
+            max_evaluations=max_evaluations,
+            obs=obs,
+            progress_every=progress_every,
+        )
     placement, energy = sa.best_placement, sa.best_energy
     if seed is not None and seed.energy < energy:
         placement, energy = seed.placement, seed.energy
@@ -274,18 +291,22 @@ def optimize(
     rng=None,
     link_limits: Optional[Tuple[int, ...]] = None,
     max_evaluations: Optional[int] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> SweepResult:
     """Full optimization: sweep ``C``, solve each ``P~(n, C)``, cost them.
 
     Returns every design point so callers can plot the Figure 5 curves;
     ``SweepResult.best`` is the paper's final answer for this network.
+    ``obs`` observes every per-``C`` solve through one instrumentation
+    context.
     """
     bandwidth = bandwidth or BandwidthConfig()
     mix = mix or PacketMix.paper_default()
     cost = cost or HopCostModel()
     gen = ensure_rng(rng)
+    obs = ensure_obs(obs)
     limits = link_limits or bandwidth.valid_link_limits(n)
-    objective = RowObjective(cost=cost)
+    objective = RowObjective(cost=cost, obs=None if obs.is_null else obs)
 
     result = SweepResult(n=n, method=method)
     for limit in limits:
@@ -308,6 +329,7 @@ def optimize(
                 params=params,
                 rng=gen,
                 max_evaluations=max_evaluations,
+                obs=obs,
             )
         result.solutions[limit] = solution
         result.points[limit] = design_point(

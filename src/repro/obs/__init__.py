@@ -1,0 +1,47 @@
+"""Unified instrumentation: structured events, metrics, timing spans.
+
+Usage::
+
+    from repro.obs import Instrumentation, MemorySink
+
+    obs = Instrumentation(sinks=[MemorySink()], profile=True)
+    sweep = optimize(8, rng=2019, obs=obs)
+    print(obs.metrics_summary())
+    print(obs.profile_table())
+
+With no sink attached (or ``obs=None``, the default everywhere) the
+instrumented code paths reduce to one boolean check and results are
+bit-identical to the uninstrumented library.
+"""
+
+from repro.obs.events import Event, EventBus
+from repro.obs.instrument import NULL, Instrumentation, ensure_obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import JsonlSink, MemorySink, StderrSummarySink
+from repro.obs.spans import SpanRecorder, SpanStats, render_profile
+from repro.obs.trace_report import (
+    load_events,
+    render_report,
+    report_file,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Instrumentation",
+    "NULL",
+    "ensure_obs",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "JsonlSink",
+    "MemorySink",
+    "StderrSummarySink",
+    "SpanRecorder",
+    "SpanStats",
+    "render_profile",
+    "load_events",
+    "render_report",
+    "report_file",
+]

@@ -1,0 +1,94 @@
+"""Structured events and the bus that distributes them to sinks.
+
+An :class:`Event` is one observation: a ``kind`` string, an optional
+logical stamp (the optimizer's ``move`` index or the simulator's
+``cycle``), a wall-clock offset, and a free-form ``payload`` dict.
+Producers emit through an :class:`EventBus`; attached sinks (see
+:mod:`repro.obs.sinks`) receive every event in emission order.
+
+The bus is designed to disappear when unused: ``enabled`` is a plain
+attribute flipped by attach/detach, so hot loops can guard with
+``if bus.enabled:`` and pay one attribute read when nothing listens.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Event:
+    """One structured observation.
+
+    ``seq`` is a bus-assigned monotone sequence number; ``move`` /
+    ``cycle`` are the producer's logical clocks (optimizer move index,
+    simulator cycle) and stay ``None`` for events outside those
+    domains.  ``wall_time`` is seconds since the bus was created.
+    """
+
+    kind: str
+    seq: int
+    wall_time: float
+    move: Optional[int] = None
+    cycle: Optional[int] = None
+    payload: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (``None`` stamps omitted)."""
+        out: Dict = {"seq": self.seq, "kind": self.kind,
+                     "wall_time": round(self.wall_time, 6)}
+        if self.move is not None:
+            out["move"] = self.move
+        if self.cycle is not None:
+            out["cycle"] = self.cycle
+        out["payload"] = self.payload
+        return out
+
+
+class EventBus:
+    """Fans events out to zero or more sinks, in order."""
+
+    __slots__ = ("sinks", "enabled", "_seq", "_t0")
+
+    def __init__(self) -> None:
+        self.sinks: List = []
+        #: True iff at least one sink is attached.  Read this before
+        #: building payloads in hot loops.
+        self.enabled = False
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def attach(self, sink) -> None:
+        """Register ``sink`` (any object with ``handle(event)``)."""
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def detach(self, sink) -> None:
+        self.sinks.remove(sink)
+        self.enabled = bool(self.sinks)
+
+    def emit(self, kind: str, move: Optional[int] = None,
+             cycle: Optional[int] = None, **payload) -> None:
+        """Deliver one event to every sink; no-op with no sinks."""
+        if not self.enabled:
+            return
+        event = Event(
+            kind=kind,
+            seq=self._seq,
+            wall_time=time.perf_counter() - self._t0,
+            move=move,
+            cycle=cycle,
+            payload=payload,
+        )
+        self._seq += 1
+        for sink in self.sinks:
+            sink.handle(event)
+
+    def close(self) -> None:
+        """Close every sink that supports it (flush files, print summaries)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

@@ -1,0 +1,160 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+No third-party dependencies -- these are the minimal primitives needed
+to watch an SA run converge or a simulator saturate:
+
+* :class:`Counter` -- monotone event totals (moves, accepted, hits),
+* :class:`Gauge` -- last-written instantaneous values (flits in
+  flight, temperature),
+* :class:`Histogram` -- fixed upper-bound buckets with *less-or-equal*
+  semantics: an observation lands in the first bucket whose bound is
+  ``>= value`` (so a value exactly on a bound belongs to that bucket),
+  and anything above the last bound lands in the overflow bucket.
+
+The :class:`MetricsRegistry` hands out get-or-create instruments by
+name and renders a plain-text summary table.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value; remembers the extremes it has seen."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with <=-bound bucketing.
+
+    ``bounds`` are strictly increasing upper bounds; ``counts`` has
+    ``len(bounds) + 1`` entries, the last being the overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} bounds must strictly increase")
+        self.name = name
+        self.bounds: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left puts value == bound into that bound's bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_for(self, value: float) -> int:
+        """Index of the bucket an observation of ``value`` would hit."""
+        return bisect_left(self.bounds, value)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: Sequence[float] = ()) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {
+                n: {"value": g.value, "min": g.min, "max": g.max,
+                    "updates": g.updates}
+                for n, g in self.gauges.items() if g.updates
+            },
+            "histograms": {
+                n: {"bounds": list(h.bounds), "counts": list(h.counts),
+                    "count": h.count, "mean": h.mean}
+                for n, h in self.histograms.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Plain-text summary, one instrument per line."""
+        lines = ["metrics:"]
+        for name in sorted(self.counters):
+            lines.append(f"  counter   {name:<28} {self.counters[name].value}")
+        for name in sorted(self.gauges):
+            g = self.gauges[name]
+            if g.updates:
+                lines.append(
+                    f"  gauge     {name:<28} {g.value:g} "
+                    f"(min {g.min:g}, max {g.max:g}, {g.updates} updates)"
+                )
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            lines.append(
+                f"  histogram {name:<28} n={h.count} mean={h.mean:.3f} "
+                f"buckets={list(zip(list(h.bounds) + ['inf'], h.counts))}"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

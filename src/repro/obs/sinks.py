@@ -1,0 +1,101 @@
+"""Event sinks: where the bus delivers structured events.
+
+Three built-ins cover the common cases:
+
+* :class:`MemorySink` -- keeps events in a list (tests, notebooks),
+* :class:`JsonlSink` -- one JSON object per line, the interchange
+  format consumed by ``repro trace-report``,
+* :class:`StderrSummarySink` -- counts events by kind and prints a
+  one-screen digest on close (cheap progress visibility for CLI runs).
+
+A sink is any object with ``handle(event)``; ``close()`` is optional.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from typing import IO, List, Optional
+
+from repro.obs.events import Event
+
+
+class MemorySink:
+    """Keeps every event in order; the test/in-process sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    # -- query helpers -------------------------------------------------
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Streams events to a file as JSON Lines.
+
+    Accepts a path (opened lazily, closed by ``close()``) or an
+    already-open text file object (left open on ``close()`` unless it
+    was opened here).
+    """
+
+    def __init__(self, path_or_file) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file: Optional[IO[str]] = path_or_file
+            self._owns = False
+            self.path = getattr(path_or_file, "name", "<stream>")
+        else:
+            self.path = str(path_or_file)
+            self._file = None
+            self._owns = True
+        self.events_written = 0
+
+    def handle(self, event: Event) -> None:
+        if self._file is None:
+            self._file = open(self.path, "w", encoding="utf-8")
+        self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self._owns:
+                self._file.close()
+                self._file = None
+
+
+class StderrSummarySink:
+    """Counts events by kind; prints a digest when closed."""
+
+    def __init__(self, file: Optional[IO[str]] = None) -> None:
+        self.counts: Counter = Counter()
+        self.last_event: Optional[Event] = None
+        self._file = file
+
+    def handle(self, event: Event) -> None:
+        self.counts[event.kind] += 1
+        self.last_event = event
+
+    def close(self) -> None:
+        out = self._file or sys.stderr
+        total = sum(self.counts.values())
+        print(f"[obs] {total} events across {len(self.counts)} kinds", file=out)
+        for kind, count in self.counts.most_common():
+            print(f"[obs]   {kind:<24} {count}", file=out)
+        if self.last_event is not None:
+            print(f"[obs] last event at +{self.last_event.wall_time:.3f}s",
+                  file=out)

@@ -1,0 +1,152 @@
+"""Aggregate a JSONL trace into a human-readable summary.
+
+Consumes the files written by :class:`repro.obs.sinks.JsonlSink` (one
+event object per line) and renders the run-level digests the paper's
+evaluation cares about:
+
+* SA convergence: acceptance / uphill rates per cooling stage, the
+  best energy at each stage boundary, the memo-cache hit ratio,
+* hot spots: top spans by cumulative wall time,
+* simulator health: heartbeat envelope (flits in flight, NI backlog)
+  and the top-k most utilized links.
+
+Every section degrades gracefully: traces from an optimizer-only run
+simply omit the simulator sections and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List
+
+from repro.util.errors import ConfigurationError
+
+
+def load_events(path: str) -> List[Dict]:
+    """Parse a JSONL trace; raises on any malformed line."""
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: not an event object"
+                )
+            events.append(record)
+    return events
+
+
+def _payload(event: Dict) -> Dict:
+    return event.get("payload") or {}
+
+
+def summarize_sa_stages(events: List[Dict]) -> List[str]:
+    stages = [e for e in events if e["kind"] == "sa.stage"]
+    if not stages:
+        return []
+    lines = [
+        "SA stages:",
+        f"  {'stage':>5} {'temp':>10} {'moves':>7} {'accept%':>8} "
+        f"{'uphill%':>8} {'best':>12} {'memo hit%':>10}",
+    ]
+    for e in stages:
+        p = _payload(e)
+        moves = p.get("moves", 0) or 0
+        acc = 100.0 * p.get("accepted", 0) / moves if moves else 0.0
+        up = 100.0 * p.get("uphill", 0) / moves if moves else 0.0
+        hit = 100.0 * p.get("memo_hit_ratio", 0.0)
+        lines.append(
+            f"  {p.get('stage', '?'):>5} {p.get('temperature', 0.0):>10.4f} "
+            f"{moves:>7} {acc:>8.1f} {up:>8.1f} "
+            f"{p.get('best_energy', float('nan')):>12.4f} {hit:>10.1f}"
+        )
+    return lines
+
+
+def summarize_spans(events: List[Dict], k: int = 5) -> List[str]:
+    agg: Dict[str, List[float]] = {}
+    for e in events:
+        if e["kind"] != "span":
+            continue
+        p = _payload(e)
+        name = p.get("name", "?")
+        entry = agg.setdefault(name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += p.get("elapsed_s", 0.0)
+    if not agg:
+        return []
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][1])[:k]
+    lines = [f"Top {min(k, len(agg))} spans by cumulative time:",
+             f"  {'span':<32} {'calls':>8} {'total s':>10}"]
+    for name, (calls, total) in ranked:
+        lines.append(f"  {name:<32} {calls:>8} {total:>10.4f}")
+    return lines
+
+
+def summarize_link_utilization(events: List[Dict], k: int = 5) -> List[str]:
+    links = [e for e in events if e["kind"] == "sim.link_util"]
+    if not links:
+        return []
+    ranked = sorted(links, key=lambda e: -_payload(e).get("utilization", 0.0))[:k]
+    lines = [f"Link utilization (top {min(k, len(links))} of {len(links)}):",
+             f"  {'link':<12} {'flits':>8} {'flits/cycle':>12}"]
+    for e in ranked:
+        p = _payload(e)
+        lines.append(
+            f"  {p.get('link', '?'):<12} {p.get('flits', 0):>8} "
+            f"{p.get('utilization', 0.0):>12.4f}"
+        )
+    return lines
+
+
+def summarize_heartbeats(events: List[Dict]) -> List[str]:
+    beats = [e for e in events if e["kind"] == "sim.heartbeat"]
+    if not beats:
+        return []
+    cycles = [e.get("cycle", 0) for e in beats]
+    in_flight = [_payload(e).get("flits_in_flight", 0) for e in beats]
+    backlog = [_payload(e).get("ni_backlog", 0) for e in beats]
+    return [
+        "Simulator heartbeats:",
+        f"  {len(beats)} beats over cycles {min(cycles)}..{max(cycles)}",
+        f"  flits in flight: max {max(in_flight)}, "
+        f"mean {sum(in_flight) / len(in_flight):.1f}",
+        f"  NI backlog:      max {max(backlog)}, "
+        f"mean {sum(backlog) / len(backlog):.1f}",
+    ]
+
+
+def render_report(events: List[Dict], source: str = "trace", k: int = 5) -> str:
+    """The full multi-section report for one trace."""
+    kinds = Counter(e["kind"] for e in events)
+    wall = max((e.get("wall_time", 0.0) for e in events), default=0.0)
+    lines = [
+        f"Trace report: {source}",
+        f"  {len(events)} events, {len(kinds)} kinds, "
+        f"{wall:.3f}s of wall time",
+        "  " + ", ".join(f"{kind}={n}" for kind, n in kinds.most_common()),
+    ]
+    for section in (
+        summarize_sa_stages(events),
+        summarize_spans(events, k),
+        summarize_link_utilization(events, k),
+        summarize_heartbeats(events),
+    ):
+        if section:
+            lines.append("")
+            lines.extend(section)
+    return "\n".join(lines)
+
+
+def report_file(path: str, k: int = 5) -> str:
+    """Load ``path`` and render its report."""
+    return render_report(load_events(path), source=path, k=k)

@@ -23,6 +23,7 @@ import numpy as np
 from dataclasses import dataclass
 from typing import Optional, Protocol
 
+from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.routing.shortest_path import HopCostModel
 from repro.routing.tables import RoutingTables
 from repro.sim.config import SimConfig
@@ -31,6 +32,9 @@ from repro.sim.network import Network
 from repro.sim.stats import LatencySummary, StatsCollector
 from repro.topology.mesh import MeshTopology
 from repro.util.errors import SimulationError
+
+#: Upper bounds for the per-router buffer-occupancy histogram (flits).
+BUFFER_OCCUPANCY_BUCKETS = (0, 2, 4, 8, 16, 32, 64, 128)
 
 
 class TrafficProtocol(Protocol):
@@ -64,6 +68,8 @@ class Simulator:
         tables: Optional[RoutingTables] = None,
         cost: Optional[HopCostModel] = None,
         check_invariants: bool = False,
+        obs: Optional[Instrumentation] = None,
+        metrics_every: int = 0,
     ):
         self.topology = topology
         self.config = config
@@ -95,13 +101,17 @@ class Simulator:
         #: When set, conservation laws are re-verified every 64 cycles
         #: (used by the property tests; costs ~10% runtime).
         self.check_invariants = check_invariants
+        #: Instrumentation (heartbeats, link utilization, occupancy
+        #: histograms); the shared NULL instance when not observing.
+        self.obs = ensure_obs(obs)
+        #: Heartbeat period in cycles; 0 disables periodic emission.
+        self.metrics_every = max(0, int(metrics_every))
 
     # ------------------------------------------------------------------
     def _inject(self, cycle: int) -> None:
-        window_end = self.config.warmup_cycles + self.config.measure_cycles
-        # Keep offering background load during drain so measured packets
-        # finish under realistic contention, but stop once everything
-        # measured has completed (the loop exits then anyway).
+        # Background load keeps being offered during drain so measured
+        # packets finish under realistic contention; the run loop exits
+        # once everything measured has completed.
         o1turn = self.config.routing_mode == "o1turn"
         for src, dst, size_bits in self.traffic.packets_for_cycle(cycle):
             packet = Packet(
@@ -113,7 +123,6 @@ class Simulator:
                 packet.order = self._default_order
             self._next_pid += 1
             self.network.nis[src].enqueue(packet)
-        del window_end
 
     def step(self, cycle: int) -> int:
         """Advance one cycle; return the number of flit movements."""
@@ -128,7 +137,9 @@ class Simulator:
     def run(self) -> RunResult:
         """Run to drain (or ``max_cycles``) and summarize."""
         cfg = self.config
+        obs = self.obs
         window_end = cfg.warmup_cycles + cfg.measure_cycles
+        heartbeat = self.metrics_every if obs.enabled else 0
         idle_streak = 0
         cycle = 0
         for cycle in range(cfg.max_cycles):
@@ -138,14 +149,33 @@ class Simulator:
             if moved == 0 and self.network.flits_in_flight() > 0:
                 idle_streak += 1
                 if idle_streak >= cfg.watchdog_cycles:
+                    if obs.enabled:
+                        obs.emit("sim.watchdog", cycle=cycle,
+                                 flits_in_flight=self.network.flits_in_flight(),
+                                 idle_streak=idle_streak, aborted=True)
                     raise SimulationError(
                         f"watchdog: {self.network.flits_in_flight()} flits stuck "
                         f"for {idle_streak} cycles at cycle {cycle}"
                     )
             else:
                 idle_streak = 0
+            if heartbeat and cycle % heartbeat == 0:
+                self._heartbeat(cycle, moved, idle_streak)
             if cycle >= window_end and self.stats.drained:
                 break
+        if obs.enabled:
+            cycles_run = cycle + 1
+            for entry in self.network.link_utilization(cycles_run):
+                obs.emit("sim.link_util", cycle=cycle, **entry)
+            obs.emit("sim.end", cycle=cycle, cycles_run=cycles_run,
+                     drained=self.stats.drained,
+                     packets_created=self.stats.created_total,
+                     packets_done=self.stats.done_total)
+        if not obs.is_null:
+            m = obs.metrics
+            m.counter("sim.cycles").inc(cycle + 1)
+            m.counter("sim.packets_created").inc(self.stats.created_total)
+            m.counter("sim.packets_done").inc(self.stats.done_total)
         return RunResult(
             summary=self.stats.summary(),
             cycles_run=cycle + 1,
@@ -154,6 +184,28 @@ class Simulator:
             packets_done=self.stats.done_total,
             activity=self.network.activity_counters(),
         )
+
+    def _heartbeat(self, cycle: int, moved: int, idle_streak: int) -> None:
+        """Emit one periodic health sample (the simulator's pulse).
+
+        Carries the numbers needed to watch congestion build: flits in
+        flight, NI source-queue backlog, flit movements this cycle and
+        the watchdog's idle streak.  Buffer occupancies additionally
+        feed a per-router histogram in the metrics registry.
+        """
+        obs = self.obs
+        in_flight = self.network.flits_in_flight()
+        backlog = self.network.ni_backlog()
+        obs.emit("sim.heartbeat", cycle=cycle,
+                 flits_in_flight=in_flight, ni_backlog=backlog,
+                 moved=moved, idle_streak=idle_streak,
+                 packets_done=self.stats.done_total)
+        m = obs.metrics
+        m.gauge("sim.flits_in_flight").set(in_flight)
+        m.gauge("sim.ni_backlog").set(backlog)
+        hist = m.histogram("sim.buffer_occupancy", BUFFER_OCCUPANCY_BUCKETS)
+        for occupancy in self.network.buffer_occupancies():
+            hist.observe(occupancy)
 
     def _verify_invariants(self, cycle: int) -> None:
         """Conservation laws that must hold at every instant.

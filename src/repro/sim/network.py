@@ -127,6 +127,36 @@ class Network:
                     return False
         return True
 
+    def ni_backlog(self) -> int:
+        """Packets waiting in source queues across all NIs."""
+        return sum(len(ni.queue) for ni in self.nis)
+
+    def buffer_occupancies(self) -> List[int]:
+        """Per-router total input-buffer occupancy (histogram samples)."""
+        return [
+            sum(port.occupancy() for port in router.in_ports.values())
+            for router in self.routers
+        ]
+
+    def link_utilization(self, cycles: int) -> List[Dict]:
+        """Per-directed-link flit counts and utilization (flits/cycle).
+
+        Covers router-to-router channels only (injection channels are
+        reported through the NI counters); links that never carried a
+        flit are omitted.
+        """
+        cycles = max(cycles, 1)
+        out: List[Dict] = []
+        for router in self.routers:
+            for dest, channel in router.outputs.items():
+                if channel.flits_sent:
+                    out.append({
+                        "link": f"{router.node}->{dest}",
+                        "flits": channel.flits_sent,
+                        "utilization": channel.flits_sent / cycles,
+                    })
+        return out
+
     def activity_counters(self) -> Dict[str, int]:
         """Aggregate activity for the power model."""
         return {

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.topology.row import Link, RowPlacement
+from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
 
 # A physical channel in the 2D network: (node_a, node_b, dimension)

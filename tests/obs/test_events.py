@@ -1,0 +1,125 @@
+"""Event bus and sink behavior."""
+
+import io
+import json
+
+from repro.obs import EventBus, JsonlSink, MemorySink, StderrSummarySink
+
+
+class TestEventBus:
+    def test_disabled_without_sinks(self):
+        bus = EventBus()
+        assert not bus.enabled
+        bus.emit("x", value=1)  # silently dropped
+
+    def test_attach_detach_flips_enabled(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        assert bus.enabled
+        bus.detach(sink)
+        assert not bus.enabled
+
+    def test_events_arrive_in_order_with_monotone_seq(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        for i in range(10):
+            bus.emit("tick", move=i, i=i)
+        assert [e.seq for e in sink.events] == list(range(10))
+        assert [e.payload["i"] for e in sink.events] == list(range(10))
+        assert [e.move for e in sink.events] == list(range(10))
+
+    def test_wall_time_is_monotone(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        for _ in range(50):
+            bus.emit("tick")
+        times = [e.wall_time for e in sink.events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t >= 0 for t in times)
+
+    def test_fans_out_to_every_sink(self):
+        bus = EventBus()
+        a, b = MemorySink(), MemorySink()
+        bus.attach(a)
+        bus.attach(b)
+        bus.emit("x")
+        assert len(a) == len(b) == 1
+
+    def test_stamps_default_to_none(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        bus.emit("free")
+        bus.emit("sim", cycle=7)
+        free, sim = sink.events
+        assert free.move is None and free.cycle is None
+        assert sim.cycle == 7 and sim.move is None
+
+    def test_to_dict_omits_none_stamps(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        bus.emit("a", payload_key=1)
+        bus.emit("b", move=3)
+        d0, d1 = (e.to_dict() for e in sink.events)
+        assert "move" not in d0 and "cycle" not in d0
+        assert d1["move"] == 3 and "cycle" not in d1
+        assert d0["payload"] == {"payload_key": 1}
+
+
+class TestMemorySink:
+    def test_query_helpers(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        bus.emit("a")
+        bus.emit("b")
+        bus.emit("a")
+        assert len(sink.of_kind("a")) == 2
+        assert sink.kinds() == {"a": 2, "b": 1}
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        sink = JsonlSink(str(path))
+        bus.attach(sink)
+        bus.emit("a", move=1, x=2)
+        bus.emit("b", cycle=3)
+        bus.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "a" and records[0]["move"] == 1
+        assert records[1]["kind"] == "b" and records[1]["cycle"] == 3
+        assert sink.events_written == 2
+
+    def test_accepts_open_file_object(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        bus = EventBus()
+        bus.attach(sink)
+        bus.emit("x")
+        bus.close()
+        assert json.loads(buf.getvalue())["kind"] == "x"
+        buf.write("")  # not closed: close() leaves caller-owned files open
+
+
+class TestStderrSummarySink:
+    def test_digest_counts_by_kind(self):
+        out = io.StringIO()
+        bus = EventBus()
+        bus.attach(StderrSummarySink(file=out))
+        bus.emit("a")
+        bus.emit("a")
+        bus.emit("b")
+        bus.close()
+        text = out.getvalue()
+        assert "3 events across 2 kinds" in text
+        assert "a" in text and "b" in text

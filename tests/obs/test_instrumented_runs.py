@@ -1,0 +1,259 @@
+"""End-to-end instrumentation: annealer, simulator, determinism, CLI.
+
+The load-bearing guarantee is the last class: with no sink attached the
+optimizer's RNG stream is untouched, so results are bit-identical to
+the uninstrumented path for a fixed seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.annealing import AnnealingParams, MemoizedObjective, anneal
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective
+from repro.core.optimizer import solve_row_problem
+from repro.obs import Instrumentation, MemorySink, render_report
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.traffic.injection import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+PARAMS = AnnealingParams(total_moves=300, moves_per_cooldown=100)
+
+
+def run_sa(obs=None, seed=7):
+    matrix = ConnectionMatrix.random(8, 3, np.random.default_rng(seed))
+    return anneal(
+        matrix,
+        RowObjective(),
+        params=PARAMS,
+        rng=np.random.default_rng(seed + 1),
+        obs=obs,
+    )
+
+
+def run_sim(obs=None, metrics_every=0, seed=3):
+    cfg = SimConfig(
+        flit_bits=128,
+        warmup_cycles=100,
+        measure_cycles=300,
+        max_cycles=20_000,
+        seed=seed,
+    )
+    traffic = SyntheticTraffic(make_pattern("uniform_random", 4), rate=0.02, rng=seed)
+    sim = Simulator(
+        MeshTopology.mesh(4), cfg, traffic, obs=obs, metrics_every=metrics_every
+    )
+    return sim.run()
+
+
+class TestAnnealerEvents:
+    def test_stage_transitions_captured_in_order(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        run_sa(obs)
+        stages = sink.of_kind("sa.stage")
+        assert [e.payload["stage"] for e in stages] == [0, 1, 2]
+        # Temperatures follow the Table 1 halving schedule.
+        temps = [e.payload["temperature"] for e in stages]
+        assert temps == pytest.approx([10.0, 5.0, 2.5])
+        # Each stage accounts exactly its cooldown window.
+        assert all(e.payload["moves"] == 100 for e in stages)
+        assert all(0 <= e.payload["accepted"] <= 100 for e in stages)
+        assert all(e.payload["uphill"] <= e.payload["accepted"] for e in stages)
+
+    def test_event_stream_brackets_and_monotone_moves(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        run_sa(obs)
+        kinds = [e.kind for e in sink.events]
+        assert kinds[0] == "sa.start"
+        assert kinds[-1] == "sa.end"
+        moves = [e.move for e in sink.events if e.move is not None]
+        assert moves == sorted(moves)
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_best_energy_events_are_decreasing(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        result = run_sa(obs)
+        bests = [e.payload["energy"] for e in sink.of_kind("sa.best")]
+        assert bests == sorted(bests, reverse=True)
+        if bests:
+            assert bests[-1] == pytest.approx(result.best_energy)
+
+    def test_metrics_registry_totals_match_result(self):
+        obs = Instrumentation(sinks=[MemorySink()])
+        result = run_sa(obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["sa.moves"] == PARAMS.total_moves
+        assert counters["sa.accepted"] == result.accepted_moves
+        assert counters["sa.uphill"] == result.uphill_accepted
+        assert counters["sa.evaluations"] == result.evaluations
+        hits, misses = counters["sa.memo_hits"], counters["sa.memo_misses"]
+        assert hits + misses == PARAMS.total_moves + 1  # + initial evaluation
+
+
+class TestSimulatorEvents:
+    def test_heartbeats_on_schedule_with_monotone_cycles(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        result = run_sim(obs, metrics_every=50)
+        beats = sink.of_kind("sim.heartbeat")
+        assert beats, "expected periodic heartbeats"
+        cycles = [e.cycle for e in beats]
+        assert cycles == sorted(cycles)
+        assert all(c % 50 == 0 for c in cycles)
+        assert len(beats) == (result.cycles_run + 49) // 50
+        for e in beats:
+            assert e.payload["flits_in_flight"] >= 0
+            assert e.payload["ni_backlog"] >= 0
+
+    def test_link_utilization_and_end_event(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        result = run_sim(obs, metrics_every=100)
+        links = sink.of_kind("sim.link_util")
+        assert links, "a loaded mesh must use some links"
+        for e in links:
+            p = e.payload
+            assert p["flits"] >= 1
+            assert p["utilization"] == pytest.approx(p["flits"] / result.cycles_run)
+        end = sink.of_kind("sim.end")
+        assert len(end) == 1
+        assert end[0].payload["drained"] == result.drained
+
+    def test_buffer_occupancy_histogram_populated(self):
+        obs = Instrumentation(sinks=[MemorySink()])
+        run_sim(obs, metrics_every=50)
+        hist = obs.metrics.histograms["sim.buffer_occupancy"]
+        assert hist.count > 0
+        assert sum(hist.counts) == hist.count
+
+    def test_no_heartbeats_without_sink(self):
+        # metrics_every set but no sink: the guard keeps the loop clean.
+        result = run_sim(obs=None, metrics_every=50)
+        assert result.cycles_run > 0
+
+
+class TestMemoCacheBound:
+    def test_cache_clears_at_cap(self):
+        calls = []
+
+        def objective(p):
+            calls.append(p)
+            return float(len(p.express_links))
+
+        memo = MemoizedObjective(objective, max_size=4)
+        placements = [
+            RowPlacement(8, frozenset({(0, i)})) for i in range(2, 8)
+        ]
+        for p in placements:
+            memo(p)
+        assert memo.overflows >= 1
+        assert len(memo) <= 4
+        assert memo.misses == len(placements)
+
+    def test_hit_accounting(self):
+        memo = MemoizedObjective(RowObjective())
+        p = RowPlacement.mesh(6)
+        memo(p)
+        memo(p)
+        memo(p)
+        assert (memo.hits, memo.misses) == (2, 1)
+        assert memo.hit_ratio == pytest.approx(2 / 3)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            MemoizedObjective(RowObjective(), max_size=0)
+
+
+class TestDeterminism:
+    """Instrumentation must not perturb the RNG stream."""
+
+    def test_sa_bit_identical_without_sink(self):
+        baseline = run_sa(obs=None)
+        observed = run_sa(obs=Instrumentation())  # no sink attached
+        assert observed.best_energy == baseline.best_energy
+        assert observed.best_placement == baseline.best_placement
+        assert observed.trace == baseline.trace
+        assert observed.accepted_moves == baseline.accepted_moves
+
+    def test_sa_bit_identical_with_sink(self):
+        baseline = run_sa(obs=None)
+        observed = run_sa(obs=Instrumentation(sinks=[MemorySink()]))
+        assert observed.best_energy == baseline.best_energy
+        assert observed.best_placement == baseline.best_placement
+        assert observed.trace == baseline.trace
+
+    def test_solve_row_problem_bit_identical_with_profiling(self):
+        a = solve_row_problem(8, 3, rng=11, params=PARAMS)
+        b = solve_row_problem(
+            8, 3, rng=11, params=PARAMS,
+            obs=Instrumentation(sinks=[MemorySink()], profile=True),
+        )
+        assert a.energy == b.energy
+        assert a.placement == b.placement
+        assert a.evaluations == b.evaluations
+
+    def test_simulator_bit_identical_with_sink(self):
+        a = run_sim(obs=None)
+        b = run_sim(
+            obs=Instrumentation(sinks=[MemorySink()]), metrics_every=25
+        )
+        assert a.summary.avg_network_latency == b.summary.avg_network_latency
+        assert a.cycles_run == b.cycles_run
+        assert a.activity == b.activity
+
+
+class TestTraceReportCli:
+    def test_round_trip_solve(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main([
+            "solve", "--n", "6", "--c", "2", "--effort", "smoke",
+            "--trace-out", trace, "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile (by cumulative time):" in out
+        assert "metrics:" in out
+        # Every line parses as one event object.
+        with open(trace) as fh:
+            events = [json.loads(line) for line in fh]
+        assert all("kind" in e and "seq" in e for e in events)
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+        assert main(["trace-report", trace]) == 0
+        report = capsys.readouterr().out
+        assert "SA stages:" in report
+        assert "spans by cumulative time" in report
+
+    def test_round_trip_simulate(self, tmp_path, capsys):
+        trace = str(tmp_path / "sim.jsonl")
+        assert main([
+            "simulate", "--n", "4", "--scheme", "mesh",
+            "--warmup", "100", "--measure", "300",
+            "--metrics-every", "100", "--trace-out", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace, "--top", "3"]) == 0
+        report = capsys.readouterr().out
+        assert "Simulator heartbeats:" in report
+        assert "Link utilization" in report
+
+    def test_render_report_handles_empty_trace(self):
+        assert "0 events" in render_report([])
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        from repro.obs import load_events
+        from repro.util.errors import ConfigurationError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "ok", "seq": 0}\nnot json\n')
+        with pytest.raises(ConfigurationError):
+            load_events(str(bad))

@@ -1,0 +1,99 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("moves")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_decrease(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        g = MetricsRegistry().gauge("t")
+        for v in (3.0, -1.0, 7.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.min == -1.0
+        assert g.max == 7.0
+        assert g.updates == 4
+
+
+class TestHistogram:
+    def test_bucketing_at_edges(self):
+        h = Histogram("h", bounds=(0, 2, 4))
+        # A value exactly on a bound lands in that bound's bucket.
+        assert h.bucket_for(0) == 0
+        assert h.bucket_for(1) == 1
+        assert h.bucket_for(2) == 1
+        assert h.bucket_for(2.0001) == 2
+        assert h.bucket_for(4) == 2
+        # Above the last bound: overflow bucket.
+        assert h.bucket_for(4.5) == 3
+        assert h.bucket_for(1e9) == 3
+
+    def test_observe_accumulates(self):
+        h = Histogram("h", bounds=(1, 10))
+        for v in (0, 1, 2, 10, 11):
+            h.observe(v)
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.mean == pytest.approx(24 / 5)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2, 1))
+
+    def test_registry_reuses_histogram_ignoring_later_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", (1, 2))
+        assert reg.histogram("h") is h
+
+
+class TestRegistryExport:
+    def test_snapshot_round_trips_to_json_types(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1, 2)).observe(1)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["counts"] == [1, 0, 0]
+
+    def test_render_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("sa.moves").inc()
+        reg.gauge("sa.best").set(4.2)
+        reg.histogram("depth", (1,)).observe(0)
+        text = reg.render()
+        assert "sa.moves" in text and "sa.best" in text and "depth" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in MetricsRegistry().render()
+
+    def test_untouched_gauge_omitted_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("never_set")
+        assert reg.snapshot()["gauges"] == {}

@@ -1,0 +1,94 @@
+"""Timing spans: nesting, aggregation, profile rendering."""
+
+import time
+
+from repro.obs import EventBus, Instrumentation, MemorySink, SpanRecorder, render_profile
+from repro.obs.spans import NULL_SPAN
+
+
+class TestSpanRecorder:
+    def test_aggregates_by_name(self):
+        rec = SpanRecorder()
+        for _ in range(3):
+            with rec.span("work"):
+                pass
+        stats = rec.stats["work"]
+        assert stats.calls == 3
+        assert stats.total_s >= 0
+        assert stats.max_s <= stats.total_s
+
+    def test_nested_spans_split_self_time(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                time.sleep(0.01)
+        outer, inner = rec.stats["outer"], rec.stats["inner"]
+        assert inner.total_s >= 0.009
+        assert outer.total_s >= inner.total_s
+        # Outer's self time excludes the child's elapsed time.
+        assert outer.self_s <= outer.total_s - inner.total_s + 1e-6
+
+    def test_top_sorts_by_cumulative_time(self):
+        rec = SpanRecorder()
+        with rec.span("slow"):
+            time.sleep(0.01)
+        with rec.span("fast"):
+            pass
+        names = [s.name for s in rec.top()]
+        assert names[0] == "slow"
+        assert [s.name for s in rec.top(1)] == ["slow"]
+
+    def test_completed_span_emits_event_with_depth(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        rec = SpanRecorder(bus=bus)
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        events = sink.of_kind("span")
+        assert [e.payload["name"] for e in events] == ["inner", "outer"]
+        assert events[0].payload["depth"] == 1
+        assert events[1].payload["depth"] == 0
+
+    def test_exception_still_records(self):
+        rec = SpanRecorder()
+        try:
+            with rec.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert rec.stats["boom"].calls == 1
+
+
+class TestRenderProfile:
+    def test_renders_table(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            pass
+        text = render_profile(rec)
+        assert "a" in text and "calls" in text
+
+    def test_empty(self):
+        assert "no spans" in render_profile(SpanRecorder())
+
+
+class TestInstrumentationSpanGating:
+    def test_null_span_when_idle(self):
+        obs = Instrumentation()
+        assert obs.span("x") is NULL_SPAN
+        with obs.span("x"):
+            pass
+        assert obs.spans.stats == {}
+
+    def test_live_span_when_profiling(self):
+        obs = Instrumentation(profile=True)
+        with obs.span("x"):
+            pass
+        assert obs.spans.stats["x"].calls == 1
+
+    def test_live_span_when_sink_attached(self):
+        obs = Instrumentation(sinks=[MemorySink()])
+        with obs.span("x"):
+            pass
+        assert obs.spans.stats["x"].calls == 1
