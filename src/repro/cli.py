@@ -9,6 +9,11 @@ Gives downstream users the paper's flow without writing Python:
 * ``experiments`` -- list the paper-figure regenerators,
 * ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``.
 
+Parallel search flags (``optimize`` / ``solve``): ``--restarts N`` runs
+``N`` independent SA chains per ``C`` from derived seeds and keeps the
+best; ``--jobs K`` fans the chains out over ``K`` worker processes.
+Results are bit-identical for every ``--jobs`` value at a fixed seed.
+
 Observability flags (``optimize`` / ``solve`` / ``simulate``):
 ``--trace-out PATH`` streams structured events as JSON Lines,
 ``--metrics-every N`` sets the periodic sample interval (simulator
@@ -40,6 +45,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=2019)
     p.add_argument(
         "--effort", choices=sorted(EFFORTS), default="paper", help="annealing budget"
+    )
+
+
+def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="K",
+        help="worker processes for the search (results are identical "
+        "for every value; default 1 = in-process)",
+    )
+    p.add_argument(
+        "--restarts", type=int, default=1, metavar="N",
+        help="independent SA chains per C (derived seeds; best chain wins)",
     )
 
 
@@ -90,9 +107,12 @@ def _finish_obs(obs: Optional[Instrumentation], args: argparse.Namespace) -> Non
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
+    parallel = args.jobs > 1 or args.restarts > 1
     sweep = optimize(
         args.n, method=args.method, params=EFFORTS[args.effort], rng=args.seed,
         obs=obs,
+        restarts=args.restarts if parallel else None,
+        jobs=args.jobs if parallel else None,
     )
     if args.save:
         from repro.io import save_sweep
@@ -124,25 +144,48 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
           f"total={best.total_latency:.2f} cycles "
           f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
     print(f"row placement: {sorted(best.placement.express_links)}")
+    if parallel:
+        spread = sweep.restart_energies.get(best.link_limit, ())
+        print(f"search: {sweep.restarts} restart(s) x {len(sweep.points)} limits "
+              f"on {sweep.jobs} job(s); best-C restart energies: "
+              f"{[round(e, 4) for e in spread]}")
     _finish_obs(obs, args)
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
-    sol = solve_row_problem(
-        args.n,
-        args.c,
-        method=args.method,
-        params=EFFORTS[args.effort],
-        rng=args.seed,
-        obs=obs,
-        progress_every=args.metrics_every,
-    )
+    if args.jobs > 1 or args.restarts > 1:
+        from repro.core.parallel import parallel_row_search
+
+        sol, energies = parallel_row_search(
+            args.n,
+            args.c,
+            method=args.method,
+            params=EFFORTS[args.effort],
+            base_seed=args.seed,
+            restarts=args.restarts,
+            jobs=args.jobs,
+            obs=obs,
+        )
+    else:
+        sol = solve_row_problem(
+            args.n,
+            args.c,
+            method=args.method,
+            params=EFFORTS[args.effort],
+            rng=args.seed,
+            obs=obs,
+            progress_every=args.metrics_every,
+        )
+        energies = None
     print(f"P~({args.n},{args.c}) [{args.method}]")
     print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
     print(f"  express links: {sorted(sol.placement.express_links)}")
     print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
+    if energies is not None:
+        print(f"  restarts: {[round(e, 4) for e in energies]} "
+              f"({args.restarts} chains on {args.jobs} job(s))")
     _finish_obs(obs, args)
     return 0
 
@@ -276,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("dc_sa", "only_sa"), default="dc_sa")
     p.add_argument("--save", metavar="FILE", help="write the sweep as JSON")
     _add_common(p)
+    _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_optimize)
 
@@ -292,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--c", type=int, default=4)
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
     _add_common(p)
+    _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_solve)
 

@@ -89,6 +89,14 @@ class MemoizedObjective:
     cache turns those repeats into dictionary hits.  Also counts true
     evaluations for runtime normalization (Figure 7).
 
+    Entries are keyed by :meth:`RowPlacement.canonical_bytes` -- the
+    exact connection structure, not object identity and not the
+    mirror-invariant ``canonical_key`` (which would alias a placement
+    with its reversal and silently corrupt traffic-weighted
+    objectives once a cache is shared across restarts).  The byte key
+    maps 1:1 to placement values, so hit/miss patterns -- and therefore
+    search trajectories -- are identical to placement-keyed caching.
+
     The cache is bounded: once it holds ``max_size`` entries it is
     cleared wholesale, so long multi-restart sweeps cannot grow memory
     without limit.  Clearing only costs recomputation -- the objective
@@ -114,7 +122,8 @@ class MemoizedObjective:
 
     def __call__(self, placement: RowPlacement) -> float:
         self.calls += 1
-        hit = self._cache.get(placement)
+        key = placement.canonical_bytes()
+        hit = self._cache.get(key)
         if hit is not None:
             self.hits += 1
             return hit
@@ -123,7 +132,7 @@ class MemoizedObjective:
         if len(self._cache) >= self.max_size:
             self._cache.clear()
             self.overflows += 1
-        self._cache[placement] = value
+        self._cache[key] = value
         self.evaluations += 1
         return value
 

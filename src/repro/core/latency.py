@@ -168,15 +168,22 @@ def full_connectivity_limit(n: int) -> int:
 def row_head_latency_matrix(
     placement: RowPlacement,
     cost: HopCostModel | None = None,
+    impl: str = "vectorized",
 ) -> np.ndarray:
-    """All-pairs zero-load head latency within one row."""
-    return directional_distances(placement, cost)
+    """All-pairs zero-load head latency within one row.
+
+    ``impl`` forwards to
+    :func:`~repro.routing.shortest_path.directional_distances`
+    (``"vectorized"`` or the pure-Python ``"reference"`` oracle).
+    """
+    return directional_distances(placement, cost, impl=impl)
 
 
 def mean_row_head_latency(
     placement: RowPlacement,
     cost: HopCostModel | None = None,
     weights: np.ndarray | None = None,
+    impl: str = "vectorized",
 ) -> float:
     """Average row head latency ``L_D,r`` of Eq. 5.
 
@@ -185,7 +192,7 @@ def mean_row_head_latency(
     ``weights`` (an ``n x n`` nonnegative matrix) the average is
     traffic-weighted as in Section 5.6.4.
     """
-    dist = row_head_latency_matrix(placement, cost)
+    dist = row_head_latency_matrix(placement, cost, impl=impl)
     if weights is None:
         return float(dist.mean())
     w = np.asarray(weights, dtype=float)
@@ -236,10 +243,16 @@ class RowObjective:
     :class:`~repro.obs.Instrumentation`: every evaluation is then timed
     under the ``latency.floyd_warshall`` span, which is how a profiled
     run attributes optimizer wall time to the O(n^3) evaluator.
+
+    ``impl`` picks the Floyd-Warshall implementation (``"vectorized"``
+    default, ``"reference"`` for the pure-Python oracle); the parity
+    suite guarantees both produce the same energies, so searches are
+    trajectory-identical under either.
     """
 
     cost: HopCostModel = HopCostModel()
     weights: Tuple[Tuple[float, ...], ...] | None = None
+    impl: str = "vectorized"
     obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __call__(self, placement: RowPlacement) -> float:
@@ -254,7 +267,7 @@ class RowObjective:
             # A slice with no traffic: fall back to the unweighted mean
             # so searches on it remain well defined.
             w = None
-        return mean_row_head_latency(placement, self.cost, w)
+        return mean_row_head_latency(placement, self.cost, w, impl=self.impl)
 
     def for_slice(self, lo: int, hi: int) -> "RowObjective":
         """The objective restricted to routers ``lo .. hi - 1``.
@@ -271,6 +284,7 @@ class RowObjective:
         return RowObjective(
             cost=self.cost,
             weights=tuple(map(tuple, w.tolist())),
+            impl=self.impl,
             obs=self.obs,
         )
 

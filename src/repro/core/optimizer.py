@@ -83,12 +83,21 @@ class DesignPoint:
 
 @dataclass
 class SweepResult:
-    """Outcome of the full ``C`` sweep for one network size."""
+    """Outcome of the full ``C`` sweep for one network size.
+
+    ``restarts`` / ``jobs`` record how the sweep was executed (both 1
+    for the legacy sequential path); ``restart_energies`` maps each
+    ``C`` to the per-restart final energies, in restart order, when the
+    multi-restart engine ran.
+    """
 
     n: int
     method: str
     points: Dict[int, DesignPoint] = field(default_factory=dict)
     solutions: Dict[int, RowSolution] = field(default_factory=dict)
+    restarts: int = 1
+    jobs: int = 1
+    restart_energies: Dict[int, Tuple[float, ...]] = field(default_factory=dict)
 
     @property
     def best(self) -> DesignPoint:
@@ -292,6 +301,8 @@ def optimize(
     link_limits: Optional[Tuple[int, ...]] = None,
     max_evaluations: Optional[int] = None,
     obs: Optional[Instrumentation] = None,
+    restarts: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Full optimization: sweep ``C``, solve each ``P~(n, C)``, cost them.
 
@@ -299,7 +310,33 @@ def optimize(
     ``SweepResult.best`` is the paper's final answer for this network.
     ``obs`` observes every per-``C`` solve through one instrumentation
     context.
+
+    With ``restarts`` and/or ``jobs`` given, the sweep routes to the
+    multi-restart engine (:mod:`repro.core.parallel`): ``restarts``
+    independent SA chains per ``C`` on up to ``jobs`` processes, seeds
+    derived per ``(C, restart)``, best chain kept per ``C``.  ``rng``
+    must then be an integer seed (or ``None``), and for a fixed seed
+    the result is bit-identical across all ``jobs`` values.  Left both
+    ``None`` (the default), the legacy sequential path runs unchanged:
+    one chain per ``C``, all fed from a single shared stream.
     """
+    if restarts is not None or jobs is not None:
+        from repro.core.parallel import parallel_sweep
+
+        return parallel_sweep(
+            n,
+            method=method,
+            bandwidth=bandwidth,
+            mix=mix,
+            cost=cost,
+            params=params,
+            base_seed=rng,
+            link_limits=link_limits,
+            max_evaluations=max_evaluations,
+            restarts=restarts or 1,
+            jobs=jobs or 1,
+            obs=obs,
+        )
     bandwidth = bandwidth or BandwidthConfig()
     mix = mix or PacketMix.paper_default()
     cost = cost or HopCostModel()

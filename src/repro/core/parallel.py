@@ -1,0 +1,341 @@
+"""Parallel multi-restart search engine for the ``C`` sweep.
+
+The paper's optimizer solves ``P~(n, C)`` independently for every
+feasible cross-section limit ``C``, and simulated annealing is
+restart-friendly: independent chains from independent streams, keep the
+best.  Both axes are embarrassingly parallel, so this module fans the
+``(C, restart)`` task grid out over a ``multiprocessing`` pool and
+reduces deterministically.
+
+Design rules that make ``--jobs K`` a pure wall-clock knob:
+
+* **Derived seeds.**  Every task draws its generator from
+  :func:`repro.util.rngtools.derived_rng` ``(base_seed, C, restart)``
+  -- a pure function of the task key, independent of scheduling.  A
+  task computes the same chain whether it runs inline, first, last, or
+  on any worker.
+* **Deterministic reduction.**  Per ``C``, the winner is the minimum by
+  ``(energy, restart index)`` -- ties cannot depend on completion
+  order.
+* **Ordered obs merging.**  Each worker records events into its own
+  :class:`~repro.obs.sinks.MemorySink` and metrics into its own
+  registry; the parent replays events and merges metric snapshots in
+  task order, so ``--trace-out`` traces and ``--profile`` totals are
+  reproducible run to run.
+
+The headline guarantee -- enforced by the parity suite -- is that for a
+fixed base seed the best design is bit-identical for every ``jobs``
+value, including the fully serial ``jobs=1`` path (which runs the exact
+same task functions in the same order, just inline).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.annealing import AnnealingParams
+from repro.core.latency import BandwidthConfig, PacketMix, RowObjective
+from repro.core.optimizer import (
+    METHODS,
+    RowSolution,
+    SweepResult,
+    design_point,
+    solve_row_problem,
+)
+from repro.obs.instrument import Instrumentation, ensure_obs
+from repro.obs.sinks import MemorySink
+from repro.routing.shortest_path import HopCostModel
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+from repro.util.rngtools import derived_rng, fresh_entropy
+
+
+@dataclass(frozen=True)
+class SearchTask:
+    """One independent SA chain: solve ``P~(n, C)`` from one stream.
+
+    Tasks are frozen, picklable value objects -- everything a worker
+    needs and nothing it could share, which is what makes the fork/spawn
+    boundary safe and the result a pure function of the task.
+    """
+
+    n: int
+    link_limit: int
+    restart: int
+    method: str
+    params: AnnealingParams
+    cost: HopCostModel
+    weights: Optional[Tuple[Tuple[float, ...], ...]]
+    impl: str
+    base_seed: int
+    max_evaluations: Optional[int]
+    capture_events: bool
+
+
+@dataclass
+class TaskResult:
+    """A worker's complete output: solution plus captured observability."""
+
+    link_limit: int
+    restart: int
+    solution: RowSolution
+    events: List[dict]
+    metrics: dict
+
+
+def _run_task(task: SearchTask) -> TaskResult:
+    """Execute one task (module-level so it pickles for pool workers)."""
+    # NB: an empty MemorySink is falsy (it has __len__), so the guards
+    # here must compare against None explicitly.
+    sink = MemorySink() if task.capture_events else None
+    obs = Instrumentation(sinks=[] if sink is None else [sink])
+    objective = RowObjective(
+        cost=task.cost,
+        weights=task.weights,
+        impl=task.impl,
+        obs=None if obs.is_null else obs,
+    )
+    solution = solve_row_problem(
+        task.n,
+        task.link_limit,
+        method=task.method,
+        objective=objective,
+        params=task.params,
+        rng=derived_rng(task.base_seed, task.link_limit, task.restart),
+        max_evaluations=task.max_evaluations,
+        obs=obs,
+    )
+    return TaskResult(
+        link_limit=task.link_limit,
+        restart=task.restart,
+        solution=solution,
+        events=[] if sink is None else [e.to_dict() for e in sink.events],
+        metrics=obs.metrics.snapshot(),
+    )
+
+
+def run_tasks(tasks: Sequence[SearchTask], jobs: int) -> List[TaskResult]:
+    """Run tasks inline (``jobs <= 1``) or on a process pool.
+
+    ``pool.map`` returns results in task order regardless of which
+    worker finished first, so downstream reduction sees the same
+    sequence either way.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task(t) for t in tasks]
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
+def best_of(results: Sequence[TaskResult]) -> TaskResult:
+    """Deterministic reduction: lowest energy, then lowest restart index."""
+    if not results:
+        raise ConfigurationError("cannot reduce an empty result set")
+    return min(results, key=lambda r: (r.solution.energy, r.restart))
+
+
+def _require_base_seed(base_seed) -> int:
+    """Coerce the parallel engine's seed; generators are rejected.
+
+    A shared :class:`numpy.random.Generator` is inherently sequential
+    -- its state would depend on task execution order -- so parallel
+    searches demand an integer seed (or ``None`` for fresh entropy,
+    still an int so the run can be replayed from logs).
+    """
+    if base_seed is None:
+        return fresh_entropy()
+    if isinstance(base_seed, (int, np.integer)):
+        return int(base_seed)
+    raise ConfigurationError(
+        "parallel search requires an integer base seed (or None); "
+        f"got {type(base_seed).__name__} -- a shared generator cannot be "
+        "split deterministically across workers"
+    )
+
+
+def _merge_observability(
+    obs: Instrumentation, results: Sequence[TaskResult]
+) -> None:
+    """Fold worker events/metrics into the parent, in task order."""
+    if obs.is_null:
+        return
+    for worker, res in enumerate(results):
+        if obs.enabled and res.events:
+            obs.replay(res.events, worker=worker)
+        obs.metrics.merge(res.metrics)
+
+
+def _build_tasks(
+    n: int,
+    limits: Sequence[int],
+    restarts: int,
+    method: str,
+    params: AnnealingParams,
+    cost: HopCostModel,
+    weights,
+    impl: str,
+    base_seed: int,
+    max_evaluations: Optional[int],
+    capture_events: bool,
+) -> List[SearchTask]:
+    return [
+        SearchTask(
+            n=n,
+            link_limit=limit,
+            restart=r,
+            method=method,
+            params=params,
+            cost=cost,
+            weights=weights,
+            impl=impl,
+            base_seed=base_seed,
+            max_evaluations=max_evaluations,
+            capture_events=capture_events,
+        )
+        for limit in limits
+        for r in range(restarts)
+    ]
+
+
+def parallel_row_search(
+    n: int,
+    link_limit: int,
+    method: str = "dc_sa",
+    params: AnnealingParams | None = None,
+    cost: HopCostModel | None = None,
+    weights=None,
+    impl: str = "vectorized",
+    base_seed=None,
+    max_evaluations: Optional[int] = None,
+    restarts: int = 1,
+    jobs: int = 1,
+    obs: Optional[Instrumentation] = None,
+) -> Tuple[RowSolution, Tuple[float, ...]]:
+    """Multi-restart solve of one ``P~(n, C)`` instance.
+
+    Returns the winning :class:`RowSolution` plus the per-restart final
+    energies (restart order), so callers can report the spread.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
+    if restarts < 1:
+        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    obs = ensure_obs(obs)
+    seed = _require_base_seed(base_seed)
+    tasks = _build_tasks(
+        n, [link_limit], restarts, method, params or AnnealingParams(),
+        cost or HopCostModel(), weights, impl, seed, max_evaluations,
+        capture_events=obs.enabled,
+    )
+    if obs.enabled:
+        obs.emit("parallel.start", n=n, link_limit=link_limit, method=method,
+                 restarts=restarts, jobs=jobs, tasks=len(tasks), base_seed=seed)
+    with obs.span("parallel.row_search"):
+        results = run_tasks(tasks, jobs)
+    _merge_observability(obs, results)
+    best = best_of(results)
+    energies = tuple(r.solution.energy for r in results)
+    if not obs.is_null:
+        obs.metrics.counter("parallel.tasks").inc(len(tasks))
+        obs.metrics.gauge("parallel.jobs").set(jobs)
+    if obs.enabled:
+        obs.emit("parallel.end", n=n, link_limit=link_limit,
+                 best_energy=best.solution.energy, best_restart=best.restart)
+    return best.solution, energies
+
+
+def parallel_sweep(
+    n: int,
+    method: str = "dc_sa",
+    bandwidth: BandwidthConfig | None = None,
+    mix: PacketMix | None = None,
+    cost: HopCostModel | None = None,
+    params: AnnealingParams | None = None,
+    base_seed=None,
+    link_limits: Optional[Tuple[int, ...]] = None,
+    max_evaluations: Optional[int] = None,
+    restarts: int = 1,
+    jobs: int = 1,
+    weights=None,
+    impl: str = "vectorized",
+    obs: Optional[Instrumentation] = None,
+) -> SweepResult:
+    """Full ``C`` sweep with ``restarts`` SA chains per limit.
+
+    The parallel counterpart of :func:`repro.core.optimizer.optimize`:
+    the ``(C, restart)`` grid runs on up to ``jobs`` processes, and for
+    a fixed ``base_seed`` the returned :class:`SweepResult` carries
+    bit-identical placements for every ``jobs`` value.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
+    if restarts < 1:
+        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    bandwidth = bandwidth or BandwidthConfig()
+    mix = mix or PacketMix.paper_default()
+    cost = cost or HopCostModel()
+    params = params or AnnealingParams()
+    obs = ensure_obs(obs)
+    seed = _require_base_seed(base_seed)
+    limits = tuple(link_limits or bandwidth.valid_link_limits(n))
+
+    searched = [c for c in limits if c > 1]
+    tasks = _build_tasks(
+        n, searched, restarts, method, params, cost, weights, impl, seed,
+        max_evaluations, capture_events=obs.enabled,
+    )
+    if obs.enabled:
+        obs.emit("parallel.start", n=n, method=method, restarts=restarts,
+                 jobs=jobs, tasks=len(tasks), base_seed=seed,
+                 link_limits=list(limits))
+    with obs.span("parallel.sweep"):
+        results = run_tasks(tasks, jobs)
+    _merge_observability(obs, results)
+
+    by_limit: Dict[int, List[TaskResult]] = {}
+    for res in results:
+        by_limit.setdefault(res.link_limit, []).append(res)
+
+    sweep = SweepResult(n=n, method=method, restarts=restarts, jobs=jobs)
+    objective = RowObjective(cost=cost, weights=weights, impl=impl)
+    for limit in limits:
+        if limit == 1:
+            mesh = RowPlacement.mesh(n)
+            solution = RowSolution(
+                n=n,
+                link_limit=1,
+                placement=mesh,
+                energy=objective(mesh),
+                method=method,
+                evaluations=1,
+                wall_time_s=0.0,
+            )
+            sweep.restart_energies[1] = (solution.energy,)
+        else:
+            group = by_limit[limit]
+            solution = best_of(group).solution
+            sweep.restart_energies[limit] = tuple(
+                r.solution.energy for r in group
+            )
+        sweep.solutions[limit] = solution
+        sweep.points[limit] = design_point(
+            solution.placement, limit, bandwidth, mix, cost
+        )
+    if not obs.is_null:
+        obs.metrics.counter("parallel.tasks").inc(len(tasks))
+        obs.metrics.gauge("parallel.jobs").set(jobs)
+    if obs.enabled:
+        best = sweep.best
+        obs.emit("parallel.end", n=n, best_link_limit=best.link_limit,
+                 best_total_latency=best.total_latency)
+    return sweep

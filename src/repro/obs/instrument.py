@@ -52,6 +52,27 @@ class Instrumentation:
              cycle: Optional[int] = None, **payload) -> None:
         self.bus.emit(kind, move=move, cycle=cycle, **payload)
 
+    def replay(self, events: Iterable[dict], worker: Optional[int] = None) -> None:
+        """Re-emit serialized worker events (``Event.to_dict`` form).
+
+        The parallel engine captures each worker's events in a
+        :class:`~repro.obs.sinks.MemorySink`, ships them back as dicts
+        and replays them here in deterministic task order, tagging each
+        payload with its ``worker`` index.  Replayed events get fresh
+        ``seq`` / ``wall_time`` stamps from this bus, so a merged trace
+        stays monotone and ``trace-report`` keeps working under
+        ``--jobs K``.
+        """
+        if not self.enabled:
+            return
+        for ev in events:
+            payload = dict(ev.get("payload", ()))
+            if worker is not None:
+                payload["worker"] = worker
+            self.bus.emit(
+                ev["kind"], move=ev.get("move"), cycle=ev.get("cycle"), **payload
+            )
+
     # -- spans ---------------------------------------------------------
     def span(self, name: str):
         """A timing context manager; no-op unless profiling or tracing."""

@@ -120,6 +120,44 @@ class MetricsRegistry:
             h = self.histograms[name] = Histogram(name, bounds)
         return h
 
+    # -- merge ---------------------------------------------------------
+    def merge(self, snapshot: Dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The parallel search engine runs each worker with its own
+        registry and merges the snapshots back so ``--profile`` /
+        ``--trace-out`` totals cover the whole fleet:
+
+        * counters add,
+        * gauges keep the incoming last-written value but accumulate
+          ``min`` / ``max`` / ``updates`` across both sides,
+        * histograms add bucket counts (bounds must match exactly).
+
+        Merging is associative and, applied in a deterministic worker
+        order, reproducible run to run.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snapshot.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.value = data["value"]
+            g.min = min(g.min, data["min"])
+            g.max = max(g.max, data["max"])
+            g.updates += data["updates"]
+        for name, data in snapshot.get("histograms", {}).items():
+            bounds = tuple(data["bounds"])
+            h = self.histograms.get(name)
+            if h is None:
+                h = self.histogram(name, bounds)
+            if h.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name} bounds mismatch: {h.bounds} != {bounds}"
+                )
+            for i, c in enumerate(data["counts"]):
+                h.counts[i] += c
+            h.count += data["count"]
+            h.total += data["mean"] * data["count"]
+
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict:
         """JSON-ready dump of every instrument."""

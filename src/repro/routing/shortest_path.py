@@ -7,10 +7,19 @@ routing deadlock-free (every hop moves monotonically toward the
 destination in the current dimension), and it is what the simulated
 annealing evaluates on every candidate placement, so it must be fast.
 
-The min-plus Floyd-Warshall here is vectorized with NumPy: the ``k``
-loop stays in Python (``n`` iterations) but each relaxation is one
-``n x n`` broadcast, which for the paper's row sizes (``n <= 16``)
-runs in microseconds.
+The min-plus Floyd-Warshall here is vectorized with NumPy and
+*batched*: both directional passes are stacked into one ``(2, n, n)``
+tensor, so the ``k`` loop runs once (``n`` iterations) and each
+relaxation is a single batched broadcast that still emits next-hop
+tables.  For the paper's row sizes (``n <= 16``) an objective
+evaluation runs in microseconds.
+
+A pure-Python triple-loop implementation is retained in
+:mod:`repro.routing.shortest_path_ref` as the reference; the parity
+suite (``tests/routing/test_shortest_path_parity.py``) proves the
+vectorized kernels bit-identical to it -- distances *and* next hops --
+and the public entry points take ``impl="vectorized" | "reference"``
+so any caller can be flipped onto the oracle.
 """
 
 from __future__ import annotations
@@ -26,7 +35,17 @@ from repro.topology.row import RowPlacement
 LEFT_TO_RIGHT = "l2r"
 RIGHT_TO_LEFT = "r2l"
 
+#: Recognized implementations of the directional kernels.
+IMPLEMENTATIONS = ("vectorized", "reference")
+
 INF = np.inf
+
+
+def _check_impl(impl: str) -> None:
+    if impl not in IMPLEMENTATIONS:
+        raise ValueError(
+            f"unknown impl {impl!r}; expected one of {IMPLEMENTATIONS}"
+        )
 
 
 @dataclass(frozen=True)
@@ -73,6 +92,66 @@ def weight_matrix(
         else:
             raise ValueError(f"unknown direction {direction!r}")
     return w
+
+
+def weight_stack(placement: RowPlacement, cost: HopCostModel) -> np.ndarray:
+    """Both directional weight matrices stacked as ``(2, n, n)``.
+
+    Index 0 is the left-to-right pass, index 1 right-to-left; feeding
+    the stack to the batched kernels relaxes both passes in one ``k``
+    loop.
+    """
+    n = placement.n
+    w = np.full((2, n, n), INF)
+    w[0, np.arange(n), np.arange(n)] = 0.0
+    w[1, np.arange(n), np.arange(n)] = 0.0
+    for i, j in placement.all_links():  # i < j by construction
+        c = cost.hop_cost(j - i)
+        w[0, i, j] = c
+        w[1, j, i] = c
+    return w
+
+
+def floyd_warshall_batch(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched min-plus Floyd-Warshall with next-hop reconstruction.
+
+    ``w`` has shape ``(B, n, n)``; every batch slice is relaxed through
+    the same ``k`` loop with one broadcast per iteration.  Returns
+    ``(dist, next_hop)`` stacks of the same shape, with the per-slice
+    semantics of :func:`floyd_warshall` (strict ``<`` improvement, ties
+    keep the incumbent next hop, ``-1`` for unreachable pairs, ``j`` on
+    the diagonal).
+    """
+    if w.ndim != 3 or w.shape[1] != w.shape[2]:
+        raise ValueError(f"expected a (B, n, n) stack, got shape {w.shape}")
+    n = w.shape[1]
+    dist = w.copy()
+    cols = np.arange(n)
+    next_hop = np.where(np.isfinite(w), cols[None, None, :], -1).astype(np.int64)
+    next_hop[:, cols, cols] = cols
+    for k in range(n):
+        via = dist[:, :, k, None] + dist[:, None, k, :]
+        better = via < dist
+        if better.any():
+            dist = np.where(better, via, dist)
+            # First hop toward j via k is the first hop toward k.
+            next_hop = np.where(better, next_hop[:, :, k, None], next_hop)
+    return dist, next_hop
+
+
+def floyd_warshall_distances_batch(w: np.ndarray) -> np.ndarray:
+    """Distance-only batched Floyd-Warshall (the annealing hot path).
+
+    One ``k`` loop covers every slice of the ``(B, n, n)`` stack; used
+    with :func:`weight_stack` it halves the Python-loop overhead of an
+    objective evaluation versus two single-matrix passes.
+    """
+    if w.ndim != 3 or w.shape[1] != w.shape[2]:
+        raise ValueError(f"expected a (B, n, n) stack, got shape {w.shape}")
+    dist = w.copy()
+    for k in range(w.shape[1]):
+        np.minimum(dist, dist[:, :, k, None] + dist[:, None, k, :], out=dist)
+    return dist
 
 
 def floyd_warshall(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -129,14 +208,25 @@ def floyd_warshall_distances(w: np.ndarray) -> np.ndarray:
 def directional_distances(
     placement: RowPlacement,
     cost: HopCostModel | None = None,
+    impl: str = "vectorized",
 ) -> np.ndarray:
-    """All-pairs directional head latencies (no next hops; fast path)."""
+    """All-pairs directional head latencies (no next hops; fast path).
+
+    ``impl`` selects the batched NumPy kernel (default) or the
+    pure-Python reference in :mod:`repro.routing.shortest_path_ref`;
+    the two are bit-identical by the parity suite, so the switch exists
+    for verification and benchmarking, not for results.
+    """
     cost = cost or HopCostModel()
+    _check_impl(impl)
+    if impl == "reference":
+        from repro.routing import shortest_path_ref as ref
+
+        return np.asarray(ref.directional_distances_py(placement, cost))
     n = placement.n
-    d_lr = floyd_warshall_distances(weight_matrix(placement, cost, LEFT_TO_RIGHT))
-    d_rl = floyd_warshall_distances(weight_matrix(placement, cost, RIGHT_TO_LEFT))
+    stack = floyd_warshall_distances_batch(weight_stack(placement, cost))
     upper = np.triu(np.ones((n, n), dtype=bool), k=1)
-    dist = np.where(upper, d_lr, d_rl)
+    dist = np.where(upper, stack[0], stack[1])
     np.fill_diagonal(dist, 0.0)
     return dist
 
@@ -144,6 +234,7 @@ def directional_distances(
 def directional_paths(
     placement: RowPlacement,
     cost: HopCostModel | None = None,
+    impl: str = "vectorized",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All-pairs directional head latencies and next hops for one row.
 
@@ -153,14 +244,20 @@ def directional_paths(
     reachable and the result is finite.
 
     Returns ``(dist, next_hop)`` as in :func:`floyd_warshall`.
+    ``impl`` is as in :func:`directional_distances`.
     """
     cost = cost or HopCostModel()
+    _check_impl(impl)
     n = placement.n
-    d_lr, nh_lr = floyd_warshall(weight_matrix(placement, cost, LEFT_TO_RIGHT))
-    d_rl, nh_rl = floyd_warshall(weight_matrix(placement, cost, RIGHT_TO_LEFT))
+    if impl == "reference":
+        from repro.routing import shortest_path_ref as ref
+
+        dist, next_hop = ref.directional_paths_py(placement, cost)
+        return np.asarray(dist), np.asarray(next_hop, dtype=np.int64)
+    d, nh = floyd_warshall_batch(weight_stack(placement, cost))
     upper = np.triu(np.ones((n, n), dtype=bool), k=1)
-    dist = np.where(upper, d_lr, d_rl)
-    next_hop = np.where(upper, nh_lr, nh_rl)
+    dist = np.where(upper, d[0], d[1])
+    next_hop = np.where(upper, nh[0], nh[1])
     np.fill_diagonal(dist, 0.0)
     np.fill_diagonal(next_hop, np.arange(n))
     return dist, next_hop

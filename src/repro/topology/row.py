@@ -197,6 +197,25 @@ class RowPlacement:
         links = ", ".join(f"{i}-{j}" for i, j in sorted(self.express_links))
         return f"RowPlacement(n={self.n}, express=[{links}])"
 
+    def canonical_bytes(self) -> bytes:
+        """A canonical byte encoding of this exact placement.
+
+        ``n`` followed by the sorted link endpoints, little-endian
+        uint16 each.  Two placements map to the same bytes iff they are
+        equal, so the encoding is a safe dictionary key for evaluation
+        caches shared across search restarts -- unlike
+        :meth:`canonical_key`, it does NOT identify a placement with
+        its mirror image (mirror energies differ under traffic-weighted
+        objectives).
+        """
+        import struct
+
+        flat = [self.n]
+        for i, j in sorted(self.express_links):
+            flat.append(i)
+            flat.append(j)
+        return struct.pack(f"<{len(flat)}H", *flat)
+
     def canonical_key(self) -> Tuple[int, Tuple[Link, ...]]:
         """A key identical for a placement and its mirror image.
 

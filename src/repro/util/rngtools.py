@@ -3,9 +3,18 @@
 All stochastic components of the library (simulated annealing, traffic
 injection) accept either a seed or a ``numpy.random.Generator`` so that
 experiments are reproducible end to end.
+
+The multi-restart search engine additionally needs *derived* streams:
+every ``(C, restart)`` task must get a generator that is a pure
+function of the base seed and the task key, independent of execution
+order, so that serial and parallel schedules visit identical states.
+:func:`derived_rng` builds those from a ``numpy.random.SeedSequence``
+spawn key.
 """
 
 from __future__ import annotations
+
+from typing import Tuple
 
 import numpy as np
 
@@ -29,3 +38,42 @@ def ensure_rng(rng: "int | None | np.random.Generator") -> np.random.Generator:
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"expected seed, Generator, or None; got {type(rng).__name__}")
+
+
+def fresh_entropy() -> int:
+    """A nondeterministic base seed (used when the caller passes none).
+
+    Returned as a plain int so it can be logged and replayed: feeding
+    it back as the base seed reproduces every derived stream exactly.
+    """
+    return int(np.random.SeedSequence().entropy)
+
+
+def derive_seed_sequence(base_seed: int, *key: int) -> np.random.SeedSequence:
+    """The seed sequence for one derived task stream.
+
+    ``key`` is the task's identity (e.g. ``(link_limit, restart)``).
+    Derivation uses the ``spawn_key`` mechanism of
+    :class:`numpy.random.SeedSequence`, so distinct keys yield
+    statistically independent streams and the mapping depends only on
+    ``(base_seed, key)`` -- never on how many other tasks exist or the
+    order they run in.
+    """
+    return np.random.SeedSequence(int(base_seed), spawn_key=tuple(int(k) for k in key))
+
+
+def derived_rng(base_seed: int, *key: int) -> np.random.Generator:
+    """A generator for the derived stream ``(base_seed, *key)``."""
+    return np.random.default_rng(derive_seed_sequence(base_seed, *key))
+
+
+def derive_seeds(base_seed: int, count: int, *prefix: int) -> Tuple[int, ...]:
+    """``count`` 64-bit integer seeds derived from ``(base_seed, prefix, i)``.
+
+    Convenience for components that persist seeds (experiment logs,
+    worker handoff) rather than generators.
+    """
+    return tuple(
+        int(derive_seed_sequence(base_seed, *prefix, i).generate_state(1, np.uint64)[0])
+        for i in range(count)
+    )

@@ -1,0 +1,214 @@
+"""Property tests for the search space and the directional metric.
+
+Randomized with the *stdlib* ``random`` module (seeded per test) so the
+properties are exercised on inputs the NumPy-based generators would
+never produce in the same order:
+
+* directional triangle inequality -- restricted to intermediates
+  between the endpoints, because the no-U-turn rule makes the general
+  form false (a test below pins the counterexample),
+* monotone per-dimension progress of every next hop, which is the
+  structural reason the routing is deadlock-free; cross-checked against
+  the channel-dependency-graph analysis in :mod:`repro.routing.deadlock`,
+* every SA move preserves the cross-section limit ``c <= C``,
+* the canonical-bytes memo keying is exact: equal placements share a
+  key, mirrors do not.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import MemoizedObjective
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective
+from repro.routing.deadlock import check_no_u_turns, is_deadlock_free
+from repro.routing.shortest_path import (
+    HopCostModel,
+    directional_distances,
+    directional_paths,
+)
+from repro.routing.tables import RoutingTables
+from repro.topology.mesh import MeshTopology
+from repro.topology.row import RowPlacement
+from repro.util.rngtools import derive_seeds, derived_rng
+
+SIZES = (4, 6, 8, 16)
+LIMITS = (2, 3, 4, 5)
+
+
+def random_matrix(rnd: random.Random, n: int, limit: int) -> ConnectionMatrix:
+    """A random connection matrix driven by stdlib random bits."""
+    rows, layers = ConnectionMatrix.shape(n, limit)
+    bits = np.array(
+        [[rnd.random() < 0.5 for _ in range(layers)] for _ in range(rows)],
+        dtype=bool,
+    ).reshape(rows, layers)
+    return ConnectionMatrix(n, limit, bits)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("limit", LIMITS)
+def test_directional_triangle_inequality(n, limit):
+    """d(i,j) <= d(i,k) + d(k,j) whenever k lies between i and j.
+
+    Within one direction the combined matrix holds true shortest
+    distances of a directed graph, so the inequality is exact for
+    intermediates the monotone routing is allowed to visit.
+    """
+    rnd = random.Random(f"{n}-{limit}-triangle")
+    for _ in range(5):
+        placement = random_matrix(rnd, n, limit).decode()
+        d = directional_distances(placement)
+        for i in range(n):
+            for j in range(n):
+                lo, hi = min(i, j), max(i, j)
+                for k in range(lo + 1, hi):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+def test_general_triangle_inequality_is_false_by_design():
+    """The no-U-turn metric is NOT a metric: going past the target and
+    bouncing back can be cheaper, but the router may not do it."""
+    placement = RowPlacement(7, frozenset({(0, 6)}))
+    d = directional_distances(placement)
+    # 0 -> 5 must walk five local hops (20 cycles); via the express link
+    # to router 6 and one hop back it would be 13, but that path
+    # reverses direction.
+    assert d[0, 5] == 20.0
+    assert d[0, 6] + d[6, 5] == 13.0
+    assert d[0, 5] > d[0, 6] + d[6, 5]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("limit", LIMITS)
+@pytest.mark.parametrize("impl", ["vectorized", "reference"])
+def test_next_hops_make_monotone_progress(n, limit, impl):
+    """Every next hop moves strictly toward the destination (and never
+    past it) -- the per-dimension deadlock-freedom invariant."""
+    rnd = random.Random(f"{n}-{limit}-monotone")
+    for _ in range(3):
+        placement = random_matrix(rnd, n, limit).decode()
+        _, nh = directional_paths(placement, impl=impl)
+        for i in range(n):
+            for j in range(n):
+                step = int(nh[i, j])
+                if i < j:
+                    assert i < step <= j
+                elif i > j:
+                    assert j <= step < i
+                else:
+                    assert step == i
+
+
+@pytest.mark.parametrize("n", (4, 6, 8))
+def test_routes_terminate_within_n_hops(n):
+    rnd = random.Random(f"{n}-terminate")
+    for _ in range(3):
+        placement = random_matrix(rnd, n, 4).decode()
+        _, nh = directional_paths(placement)
+        for i in range(n):
+            for j in range(n):
+                v, hops = i, 0
+                while v != j:
+                    v = int(nh[v, j])
+                    hops += 1
+                    assert hops < n, "route must terminate"
+
+
+@pytest.mark.parametrize("n", (4, 6))
+@pytest.mark.parametrize("limit", (2, 3))
+def test_random_placements_route_deadlock_free(n, limit):
+    """CDG acyclicity and the no-U-turn audit hold for arbitrary valid
+    placements, not just optimizer outputs (cross-check of
+    routing/deadlock.py against the next-hop property above)."""
+    rnd = random.Random(f"{n}-{limit}-cdg")
+    for _ in range(2):
+        placement = random_matrix(rnd, n, limit).decode()
+        tables = RoutingTables.build(MeshTopology.uniform(placement))
+        assert is_deadlock_free(tables)
+        assert check_no_u_turns(tables)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("limit", LIMITS)
+def test_every_sa_move_preserves_cross_section_limit(n, limit):
+    """Flipping any connection point keeps the decoded placement valid:
+    the SA never needs repair or rejection sampling."""
+    rnd = random.Random(f"{n}-{limit}-moves")
+    state = random_matrix(rnd, n, limit)
+    assert state.decode().max_cross_section() <= limit
+    rows, layers = state.bits.shape
+    for _ in range(60):
+        state.flip(rnd.randrange(rows), rnd.randrange(layers))
+        placement = state.decode()
+        assert placement.max_cross_section() <= limit
+        placement.validate(limit)
+
+
+class TestMemoCanonicalKeying:
+    def test_equal_placements_share_one_cache_entry(self):
+        memo = MemoizedObjective(RowObjective())
+        a = RowPlacement(8, frozenset({(0, 3), (4, 7)}))
+        b = RowPlacement(8, frozenset({(4, 7), (0, 3)}))  # distinct object
+        memo(a)
+        memo(b)
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert len(memo) == 1
+
+    def test_mirror_placements_do_not_collide(self):
+        """A mirror has equal energy under the unweighted objective but
+        NOT under traffic weights; the cache key must keep them apart."""
+        a = RowPlacement(8, frozenset({(0, 5)}))
+        b = a.reversed()
+        assert a.canonical_key() == b.canonical_key()  # mirror-invariant
+        assert a.canonical_bytes() != b.canonical_bytes()  # cache key is not
+
+        weights = np.zeros((8, 8))
+        weights[0, 5] = 1.0  # all traffic rides the 0->5 express
+        obj = RowObjective(weights=tuple(map(tuple, weights.tolist())))
+        memo = MemoizedObjective(obj)
+        ea, eb = memo(a), memo(b)
+        assert memo.misses == 2 and memo.hits == 0
+        assert ea != eb  # aliasing the mirrors would have corrupted one
+
+    def test_canonical_bytes_injective_over_random_placements(self):
+        rnd = random.Random("bytes")
+        seen = {}
+        for _ in range(200):
+            p = random_matrix(rnd, 10, 4).decode()
+            key = p.canonical_bytes()
+            if key in seen:
+                assert seen[key] == p
+            seen[key] = p
+        assert len(seen) == len({p for p in seen.values()})
+
+    def test_keying_change_leaves_energies_exact(self):
+        obj = RowObjective()
+        memo = MemoizedObjective(obj)
+        rnd = random.Random("exact")
+        for _ in range(20):
+            p = random_matrix(rnd, 8, 3).decode()
+            assert memo(p) == obj(p)
+
+
+class TestDerivedSeeds:
+    def test_derived_rng_is_a_pure_function_of_key(self):
+        a = derived_rng(2019, 4, 1).integers(1 << 30, size=4)
+        b = derived_rng(2019, 4, 1).integers(1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_give_distinct_streams(self):
+        draws = {
+            tuple(derived_rng(2019, c, r).integers(1 << 30, size=4).tolist())
+            for c in (2, 4, 8)
+            for r in range(3)
+        }
+        assert len(draws) == 9
+
+    def test_derive_seeds_stable_and_distinct(self):
+        seeds = derive_seeds(7, 8)
+        assert seeds == derive_seeds(7, 8)
+        assert len(set(seeds)) == 8
+        assert derive_seeds(7, 8, 1) != derive_seeds(7, 8, 2)

@@ -212,6 +212,102 @@ class TestDeterminism:
         assert a.activity == b.activity
 
 
+class TestParallelDeterminism:
+    """The jobs knob must not leak into traces, metrics, or results.
+
+    Same seed + same ``jobs`` => identical event sequence per worker
+    and identical merged metrics totals; a different ``jobs`` value =>
+    still the identical best solution and identical counter totals
+    (the per-task work is the same set, merged in the same task order).
+    """
+
+    PARAMS = AnnealingParams(total_moves=200, moves_per_cooldown=100)
+
+    def run_parallel(self, jobs, sink=None):
+        from repro.core.optimizer import optimize
+
+        obs = Instrumentation(sinks=[sink] if sink is not None else [])
+        sweep = optimize(
+            6, params=self.PARAMS, rng=2019, restarts=2, jobs=jobs, obs=obs
+        )
+        return sweep, obs
+
+    @staticmethod
+    def event_signature(events):
+        """Events minus nondeterministic wall-clock fields."""
+        out = []
+        for e in events:
+            payload = {k: v for k, v in e.payload.items()
+                       if k not in ("wall_time_s", "elapsed_s")}
+            out.append((e.kind, e.move, e.cycle, payload))
+        return out
+
+    def test_same_seed_same_jobs_identical_trace_per_worker(self):
+        sink_a, sink_b = MemorySink(), MemorySink()
+        self.run_parallel(2, sink_a)
+        self.run_parallel(2, sink_b)
+        sig_a = self.event_signature(sink_a.events)
+        sig_b = self.event_signature(sink_b.events)
+        assert sig_a == sig_b
+        # Per-worker subsequences match too (worker tag is in payload).
+        workers = {p.get("worker") for _, _, _, p in sig_a} - {None}
+        assert workers, "replayed events must carry worker tags"
+        for w in workers:
+            a = [s for s in sig_a if s[3].get("worker") == w]
+            b = [s for s in sig_b if s[3].get("worker") == w]
+            assert a == b and a
+
+    def test_same_seed_same_jobs_identical_merged_metrics(self):
+        _, obs_a = self.run_parallel(2, MemorySink())
+        _, obs_b = self.run_parallel(2, MemorySink())
+        assert obs_a.metrics.snapshot() == obs_b.metrics.snapshot()
+
+    def test_different_jobs_identical_best_and_counter_totals(self):
+        sweep_1, obs_1 = self.run_parallel(1, MemorySink())
+        sweep_3, obs_3 = self.run_parallel(3, MemorySink())
+        assert sweep_1.best == sweep_3.best
+        assert sweep_1.restart_energies == sweep_3.restart_energies
+        snap_1, snap_3 = obs_1.metrics.snapshot(), obs_3.metrics.snapshot()
+        assert snap_1["counters"] == snap_3["counters"]
+        assert snap_1["histograms"] == snap_3["histograms"]
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(2)
+        b.counter("x").inc(3)
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b.histogram("h", (1.0, 2.0)).observe(5.0)
+        a.merge(b.snapshot())
+        assert a.counters["x"].value == 5
+        assert a.histograms["h"].count == 2
+        assert a.histograms["h"].counts == [1, 0, 1]
+        bad = MetricsRegistry()
+        bad.histogram("h", (9.0,)).observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge(bad.snapshot())
+
+    def test_cli_trace_round_trip_with_jobs(self, tmp_path, capsys):
+        trace = str(tmp_path / "par.jsonl")
+        assert main([
+            "optimize", "--n", "6", "--effort", "smoke",
+            "--restarts", "2", "--jobs", "2", "--trace-out", trace,
+        ]) == 0
+        capsys.readouterr()
+        with open(trace) as fh:
+            events = [json.loads(line) for line in fh]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        kinds = {e["kind"] for e in events}
+        assert {"parallel.start", "parallel.end", "sa.start", "sa.end"} <= kinds
+        workers = {e["payload"].get("worker") for e in events
+                   if "worker" in e["payload"]}
+        assert len(workers) >= 2
+        assert main(["trace-report", trace]) == 0
+        report = capsys.readouterr().out
+        assert "SA stages:" in report
+
+
 class TestTraceReportCli:
     def test_round_trip_solve(self, tmp_path, capsys):
         trace = str(tmp_path / "run.jsonl")

@@ -1,0 +1,199 @@
+"""Parity suite: vectorized Floyd-Warshall == pure-Python reference.
+
+The batched NumPy kernels in :mod:`repro.routing.shortest_path` run on
+the annealing hot path; :mod:`repro.routing.shortest_path_ref` is the
+triple-loop specification.  These tests demand *bit-identical*
+distances and next-hop tables over randomized rows -- both
+implementations relax ``k`` in the same order and break ties with the
+same strict ``<``, so exact equality is the contract, not an
+approximation.
+
+The second half proves the parallel engine is an execution detail: for
+a fixed seed, ``optimize(..., restarts=R, jobs=K)`` returns bit-wise
+the same design for every ``K``, including the inline ``K=1`` path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import AnnealingParams
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.latency import RowObjective
+from repro.core.optimizer import optimize
+from repro.core.parallel import parallel_row_search
+from repro.routing.shortest_path import (
+    HopCostModel,
+    LEFT_TO_RIGHT,
+    RIGHT_TO_LEFT,
+    directional_distances,
+    directional_paths,
+    floyd_warshall,
+    floyd_warshall_batch,
+    floyd_warshall_distances,
+    floyd_warshall_distances_batch,
+    weight_matrix,
+    weight_stack,
+)
+from repro.topology.row import RowPlacement
+
+SIZES = (4, 6, 8, 16)
+LIMITS = (2, 3, 4, 5)
+
+#: Non-default costs exercise the float paths beyond small integers.
+COSTS = (
+    HopCostModel(),
+    HopCostModel(router_delay=2.0, unit_link_delay=1.5, contention_delay=0.3),
+)
+
+SMALL = AnnealingParams(total_moves=300, moves_per_cooldown=100)
+
+
+def random_placements(n, limit, count=5, seed=0):
+    """Valid random placements for P~(n, limit), via the matrix space."""
+    gen = np.random.default_rng((n, limit, seed))
+    return [ConnectionMatrix.random(n, limit, gen).decode() for _ in range(count)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("limit", LIMITS)
+def test_directional_distances_bit_identical(n, limit):
+    for cost in COSTS:
+        for placement in random_placements(n, limit):
+            fast = directional_distances(placement, cost)
+            ref = directional_distances(placement, cost, impl="reference")
+            assert fast.shape == ref.shape == (n, n)
+            assert np.array_equal(fast, ref), str(placement)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("limit", LIMITS)
+def test_directional_paths_bit_identical(n, limit):
+    for cost in COSTS:
+        for placement in random_placements(n, limit):
+            d_fast, nh_fast = directional_paths(placement, cost)
+            d_ref, nh_ref = directional_paths(placement, cost, impl="reference")
+            assert np.array_equal(d_fast, d_ref), str(placement)
+            assert np.array_equal(nh_fast, nh_ref), str(placement)
+            assert nh_fast.dtype == nh_ref.dtype == np.int64
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_batched_kernels_match_single_matrix_kernels(n):
+    cost = HopCostModel()
+    for placement in random_placements(n, 4, count=3, seed=1):
+        stack = weight_stack(placement, cost)
+        w_lr = weight_matrix(placement, cost, LEFT_TO_RIGHT)
+        w_rl = weight_matrix(placement, cost, RIGHT_TO_LEFT)
+        assert np.array_equal(stack[0], w_lr)
+        assert np.array_equal(stack[1], w_rl)
+
+        d_batch = floyd_warshall_distances_batch(stack)
+        assert np.array_equal(d_batch[0], floyd_warshall_distances(w_lr))
+        assert np.array_equal(d_batch[1], floyd_warshall_distances(w_rl))
+
+        d_full, nh_full = floyd_warshall_batch(stack)
+        d0, nh0 = floyd_warshall(w_lr)
+        d1, nh1 = floyd_warshall(w_rl)
+        assert np.array_equal(d_full[0], d0) and np.array_equal(nh_full[0], nh0)
+        assert np.array_equal(d_full[1], d1) and np.array_equal(nh_full[1], nh1)
+
+
+def test_batch_kernels_reject_non_stack_input():
+    w = np.zeros((4, 4))
+    with pytest.raises(ValueError):
+        floyd_warshall_batch(w)
+    with pytest.raises(ValueError):
+        floyd_warshall_distances_batch(np.zeros((2, 3, 4)))
+
+
+def test_unknown_impl_rejected():
+    p = RowPlacement.mesh(6)
+    with pytest.raises(ValueError):
+        directional_distances(p, impl="cuda")
+    with pytest.raises(ValueError):
+        directional_paths(p, impl="")
+
+
+@pytest.mark.parametrize("impl", ["vectorized", "reference"])
+def test_next_hop_tables_are_self_consistent(impl):
+    """dist[i, j] decomposes exactly as hop-to-next + dist[next, j]."""
+    cost = HopCostModel()
+    for placement in random_placements(10, 4, count=4, seed=2):
+        dist, nh = directional_paths(placement, cost, impl=impl)
+        n = placement.n
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    assert nh[i, j] == i
+                    continue
+                step = int(nh[i, j])
+                assert step in placement.neighbors(i)
+                assert dist[i, j] == cost.hop_cost(abs(step - i)) + dist[step, j]
+
+
+def test_objective_identical_under_both_impls():
+    fast = RowObjective()
+    ref = RowObjective(impl="reference")
+    for placement in random_placements(8, 4, count=6, seed=3):
+        assert fast(placement) == ref(placement)
+
+
+class TestParallelEngineParity:
+    """The jobs knob changes wall-clock only, never results."""
+
+    def test_optimize_parallel_bit_identical_to_serial(self):
+        serial = optimize(8, params=SMALL, rng=2019, restarts=3, jobs=1)
+        fanned = optimize(8, params=SMALL, rng=2019, restarts=3, jobs=4)
+        assert serial.best.placement == fanned.best.placement
+        assert serial.best.link_limit == fanned.best.link_limit
+        assert serial.best.latency == fanned.best.latency
+        assert serial.best == fanned.best  # frozen dataclass: bit-wise
+        for c in serial.solutions:
+            assert serial.solutions[c].placement == fanned.solutions[c].placement
+            assert serial.solutions[c].energy == fanned.solutions[c].energy
+            assert serial.solutions[c].evaluations == fanned.solutions[c].evaluations
+        assert serial.restart_energies == fanned.restart_energies
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_every_jobs_value_agrees(self, jobs):
+        base = optimize(6, params=SMALL, rng=7, restarts=2, jobs=1)
+        other = optimize(6, params=SMALL, rng=7, restarts=2, jobs=jobs)
+        assert base.best == other.best
+        assert base.restart_energies == other.restart_energies
+
+    def test_row_search_parallel_bit_identical(self):
+        a, ea = parallel_row_search(
+            8, 4, params=SMALL, base_seed=11, restarts=4, jobs=1
+        )
+        b, eb = parallel_row_search(
+            8, 4, params=SMALL, base_seed=11, restarts=4, jobs=3
+        )
+        assert a.placement == b.placement
+        assert a.energy == b.energy
+        assert ea == eb
+
+    def test_restart_seeds_are_independent_of_grid(self):
+        # Dropping a C from the sweep must not shift other chains' seeds.
+        full = optimize(6, params=SMALL, rng=5, restarts=2, jobs=1)
+        partial = optimize(
+            6, params=SMALL, rng=5, restarts=2, jobs=1, link_limits=(2, 4)
+        )
+        for c in (2, 4):
+            assert full.solutions[c].placement == partial.solutions[c].placement
+            assert full.restart_energies[c] == partial.restart_energies[c]
+
+    def test_reduction_tie_break_prefers_lowest_restart(self):
+        # exact method: every restart returns the same optimum, so the
+        # (energy, restart) tie-break must pick restart 0.
+        sol, energies = parallel_row_search(
+            6, 2, method="exact", base_seed=1, restarts=3, jobs=2
+        )
+        assert len(set(energies)) == 1
+        assert sol.energy == energies[0]
+
+    def test_generator_rng_rejected_in_parallel_mode(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            optimize(6, params=SMALL, rng=np.random.default_rng(3),
+                     restarts=2, jobs=2)
