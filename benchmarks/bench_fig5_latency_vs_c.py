@@ -8,6 +8,7 @@ sweep repeats per C value.
 
 import pytest
 
+from repro.api import SearchConfig
 from repro.core.optimizer import solve_row_problem
 from repro.harness.designs import EFFORTS
 from repro.harness.fig5 import fig5_all, render_summary
@@ -44,7 +45,8 @@ def test_fig5_dc_sa_solve(benchmark, panels, capsys):
 
     params = EFFORTS[sa_effort()]
     benchmark.pedantic(
-        lambda: solve_row_problem(8, 4, method="dc_sa", params=params, rng=SEED),
+        lambda: solve_row_problem(8, 4, method="dc_sa", params=params,
+                                  config=SearchConfig(seed=SEED)),
         rounds=3 if sa_effort() == "quick" else 2,
         iterations=1,
     )

@@ -23,6 +23,7 @@ import argparse
 
 from repro import (
     MeshTopology,
+    SearchConfig,
     SimConfig,
     Simulator,
     SyntheticTraffic,
@@ -52,7 +53,8 @@ def main() -> None:
     print(f"Optimizing express-link placement for a {args.n}x{args.n} mesh...")
     sink = MemorySink()
     obs = Instrumentation(sinks=[sink])
-    sweep = optimize(args.n, method="dc_sa", params=params, rng=args.seed, obs=obs)
+    sweep = optimize(args.n, method="dc_sa", params=params,
+                     config=SearchConfig(seed=args.seed), obs=obs)
 
     rows = []
     for c, point in sorted(sweep.points.items()):

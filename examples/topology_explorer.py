@@ -14,6 +14,7 @@ Usage::
 
 import argparse
 
+from repro.api import SearchConfig
 from repro.core.connection_matrix import ConnectionMatrix
 from repro.core.optimizer import solve_row_problem
 from repro.routing.deadlock import is_deadlock_free
@@ -35,7 +36,8 @@ def main() -> None:
 
     method = "exact" if args.exact else "dc_sa"
     print(f"Solving P~({args.n}, {args.c}) with {method}...")
-    sol = solve_row_problem(args.n, args.c, method=method, rng=args.seed)
+    sol = solve_row_problem(args.n, args.c, method=method,
+                            config=SearchConfig(seed=args.seed))
 
     print(f"\nmean row head latency: {sol.energy:.4f} cycles "
           f"(2D average: {2 * sol.energy:.4f})")

@@ -9,14 +9,24 @@ regenerate every figure and table of the paper's evaluation.
 
 Quickstart::
 
-    from repro import optimize, MeshTopology
+    from repro import SearchConfig, place_express_links, MeshTopology
 
-    sweep = optimize(8, method="dc_sa", rng=2019)
-    best = sweep.best
-    print(best.link_limit, best.total_latency, best.placement)
-    topology = MeshTopology.uniform(best.placement)
+    result = place_express_links(8, config=SearchConfig(seed=2019))
+    print(result.link_limit, result.total_latency, result.express_links)
+    topology = MeshTopology.uniform(result.placement)
+
+The lower-level entry points remain available (``optimize`` for the raw
+sweep, ``solve_row_problem`` for one ``P~(n, C)`` instance); their
+execution knobs also travel in a ``SearchConfig`` -- see ``docs/api.md``.
 """
 
+from repro.api import (
+    EvalResult,
+    PlacementResult,
+    SearchConfig,
+    evaluate_placement,
+    place_express_links,
+)
 from repro.core import (
     AnnealingParams,
     BandwidthConfig,
@@ -67,6 +77,11 @@ from repro.io import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "EvalResult",
+    "PlacementResult",
+    "SearchConfig",
+    "evaluate_placement",
+    "place_express_links",
     "AnnealingParams",
     "BandwidthConfig",
     "ConnectionMatrix",

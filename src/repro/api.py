@@ -1,0 +1,362 @@
+"""Stable public facade for the express-link placement toolkit.
+
+The solver surface grew keyword-by-keyword across iterations
+(``optimize(..., rng=, restarts=, jobs=, max_evaluations=, ...)``).
+This module is the deliberate redesign: one frozen
+:class:`SearchConfig` carries every knob that shapes *how* a search
+runs (seed, restarts, jobs, FW implementation, incremental engine,
+trace settings), and two entry points return frozen result objects:
+
+* :func:`place_express_links` -- run the full ``C`` sweep and return a
+  :class:`PlacementResult`,
+* :func:`evaluate_placement` -- price an existing placement into an
+  :class:`EvalResult`.
+
+The legacy keyword arguments on :func:`repro.optimize` and
+:func:`repro.solve_row_problem` keep working through a deprecation shim
+that warns once per process (see :func:`warn_legacy_kwargs`); migration
+notes live in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.routing.shortest_path import IMPLEMENTATIONS
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "SearchConfig",
+    "PlacementResult",
+    "EvalResult",
+    "place_express_links",
+    "evaluate_placement",
+    "reset_legacy_warnings",
+]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Everything that shapes *how* a search runs (not *what* it solves).
+
+    Problem parameters (``n``, ``C``, method, cost model, annealing
+    schedule) stay explicit on the entry points; this object carries
+    the execution knobs so they cannot sprawl into more keywords.
+
+    Attributes
+    ----------
+    seed:
+        Integer base seed, or ``None`` for fresh entropy.  Parallel
+        searches (``restarts``/``jobs`` > 1) derive one independent
+        stream per ``(C, restart)`` task from it.
+    restarts:
+        Independent SA chains per ``C``; the best chain wins.
+    jobs:
+        Worker processes; results are bit-identical for every value.
+    impl:
+        Floyd-Warshall implementation (``"vectorized"`` or the
+        pure-Python ``"reference"`` oracle).
+    incremental:
+        Price SA candidates with the O(n^2) dynamic APSP engine
+        (:mod:`repro.routing.incremental`) instead of a full O(n^3)
+        re-solve per move.  Placements are byte-identical to the full
+        path for the same seed under the default integral hop costs.
+    resync_every:
+        Incremental-mode drift self-check period, in accepted moves
+        (0 disables): re-solve with full FW, verify bit-identity, emit
+        ``sa.resync`` and repair on mismatch.
+    max_evaluations:
+        Optional cap on unique objective evaluations per chain.
+    trace_out / metrics_every / profile:
+        Observability: JSONL event trace path, periodic progress event
+        interval, and span-profile printing (CLI flags of the same
+        names).
+    """
+
+    seed: Optional[int] = None
+    restarts: int = 1
+    jobs: int = 1
+    impl: str = "vectorized"
+    incremental: bool = False
+    resync_every: int = 1_000
+    max_evaluations: Optional[int] = None
+    trace_out: Optional[str] = None
+    metrics_every: int = 0
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.restarts < 1:
+            raise ConfigurationError(f"restarts must be >= 1, got {self.restarts}")
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.impl not in IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"unknown impl {self.impl!r}; expected one of {IMPLEMENTATIONS}"
+            )
+        if self.resync_every < 0:
+            raise ConfigurationError(
+                f"resync_every must be >= 0, got {self.resync_every}"
+            )
+        if self.metrics_every < 0:
+            raise ConfigurationError(
+                f"metrics_every must be >= 0, got {self.metrics_every}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when the multi-restart engine should run the search."""
+        return self.restarts > 1 or self.jobs > 1
+
+    @classmethod
+    def from_cli(cls, args: Any) -> "SearchConfig":
+        """Build a config from parsed CLI args (missing flags default)."""
+        defaults = cls()
+        return cls(
+            seed=getattr(args, "seed", defaults.seed),
+            restarts=getattr(args, "restarts", defaults.restarts),
+            jobs=getattr(args, "jobs", defaults.jobs),
+            impl=getattr(args, "impl", defaults.impl),
+            incremental=getattr(args, "incremental", defaults.incremental),
+            resync_every=getattr(args, "resync_every", defaults.resync_every),
+            max_evaluations=getattr(
+                args, "max_evaluations", defaults.max_evaluations
+            ),
+            trace_out=getattr(args, "trace_out", defaults.trace_out),
+            metrics_every=getattr(args, "metrics_every", defaults.metrics_every),
+            profile=getattr(args, "profile", defaults.profile),
+        )
+
+    def with_updates(self, **changes: Any) -> "SearchConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# Legacy-keyword deprecation shim
+# ----------------------------------------------------------------------
+
+_WARNED_FUNCTIONS: set = set()
+
+
+def warn_legacy_kwargs(func_name: str, keys: Iterable[str]) -> None:
+    """Emit the legacy-keyword DeprecationWarning once per process.
+
+    One warning per function name, not per call site -- paper-scale
+    sweeps call the solvers thousands of times and a warning storm
+    would bury real output.  Tests use :func:`reset_legacy_warnings`
+    to assert the warning fires.
+    """
+    if func_name in _WARNED_FUNCTIONS:
+        return
+    _WARNED_FUNCTIONS.add(func_name)
+    warnings.warn(
+        f"{func_name}() search keywords {sorted(keys)} are deprecated; "
+        "pass config=repro.SearchConfig(...) instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which functions already warned (test support)."""
+    _WARNED_FUNCTIONS.clear()
+
+
+# ----------------------------------------------------------------------
+# Result objects
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of :func:`place_express_links`: the chosen design.
+
+    ``express_links`` / ``energy`` describe the winning row placement;
+    the latency fields are the Eq. 2 breakdown of the winning design
+    point; ``latency_curve`` is the full ``(C, total latency)`` sweep
+    behind Figure 5.  ``sweep`` keeps the raw
+    :class:`~repro.core.optimizer.SweepResult` for power users.
+    """
+
+    n: int
+    method: str
+    link_limit: int
+    flit_bits: int
+    placement: RowPlacement
+    express_links: Tuple[Tuple[int, int], ...]
+    energy: float
+    head_latency: float
+    serialization_latency: float
+    total_latency: float
+    evaluations: int
+    wall_time_s: float
+    latency_curve: Tuple[Tuple[int, float], ...]
+    restart_energies: Tuple[Tuple[int, Tuple[float, ...]], ...]
+    config: SearchConfig
+    sweep: Any = field(repr=False, compare=False, default=None)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of :func:`evaluate_placement`: one placement, priced.
+
+    Head latencies are zero-load averages; the serialization and total
+    fields are ``None`` when no ``link_limit`` is given (without ``C``
+    there is no flit width, hence no ``L_S``).
+    """
+
+    n: int
+    link_limit: Optional[int]
+    row_head_latency: float
+    head_latency: float
+    worst_case_latency: Optional[float]
+    serialization_latency: Optional[float]
+    total_latency: Optional[float]
+    flit_bits: Optional[int]
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def place_express_links(
+    n: int,
+    method: str = "dc_sa",
+    config: Optional[SearchConfig] = None,
+    bandwidth=None,
+    mix=None,
+    cost=None,
+    params=None,
+    link_limits: Optional[Tuple[int, ...]] = None,
+    obs=None,
+) -> PlacementResult:
+    """Run the paper's full flow for an ``n x n`` mesh.
+
+    Sweeps every feasible cross-section limit ``C``, solves each
+    ``P~(n, C)`` with ``method``, adds the serialization latency
+    implied by the flit width, and returns the best design as a frozen
+    :class:`PlacementResult`.
+    """
+    from repro.core.optimizer import optimize
+
+    cfg = config or SearchConfig()
+    start = time.perf_counter()
+    sweep = optimize(
+        n,
+        method=method,
+        bandwidth=bandwidth,
+        mix=mix,
+        cost=cost,
+        params=params,
+        link_limits=link_limits,
+        obs=obs,
+        config=cfg,
+    )
+    wall = time.perf_counter() - start
+    best = sweep.best
+    solution = sweep.solutions[best.link_limit]
+    return PlacementResult(
+        n=n,
+        method=method,
+        link_limit=best.link_limit,
+        flit_bits=best.flit_bits,
+        placement=best.placement,
+        express_links=tuple(sorted(best.placement.express_links)),
+        energy=solution.energy,
+        head_latency=best.latency.head,
+        serialization_latency=best.latency.serialization,
+        total_latency=best.total_latency,
+        evaluations=sum(s.evaluations for s in sweep.solutions.values()),
+        wall_time_s=wall,
+        latency_curve=sweep.latency_curve(),
+        restart_energies=tuple(sorted(sweep.restart_energies.items())),
+        config=cfg,
+        sweep=sweep,
+    )
+
+
+def evaluate_placement(
+    placement: RowPlacement,
+    link_limit: Optional[int] = None,
+    bandwidth=None,
+    mix=None,
+    cost=None,
+    weights=None,
+    impl: str = "vectorized",
+) -> EvalResult:
+    """Price an existing row placement into an :class:`EvalResult`.
+
+    Without ``link_limit`` only the head-latency terms are computed;
+    with it the placement is validated against ``C`` and the full
+    Eq. 2 breakdown (flit width, serialization, worst case) is filled
+    in.
+    """
+    import numpy as np
+
+    from repro.core.latency import (
+        mean_row_head_latency,
+        network_average_latency,
+        network_worst_case_latency,
+    )
+
+    w = None if weights is None else np.asarray(weights, dtype=float)
+    row = mean_row_head_latency(placement, cost, w, impl=impl)
+    if link_limit is None:
+        return EvalResult(
+            n=placement.n,
+            link_limit=None,
+            row_head_latency=row,
+            head_latency=2.0 * row,
+            worst_case_latency=None,
+            serialization_latency=None,
+            total_latency=None,
+            flit_bits=None,
+        )
+    from repro.core.latency import BandwidthConfig
+
+    bw = bandwidth or BandwidthConfig()
+    breakdown = network_average_latency(placement, link_limit, bw, mix, cost)
+    return EvalResult(
+        n=placement.n,
+        link_limit=link_limit,
+        row_head_latency=row,
+        head_latency=breakdown.head,
+        worst_case_latency=network_worst_case_latency(
+            placement, link_limit, bw, mix, cost
+        ),
+        serialization_latency=breakdown.serialization,
+        total_latency=breakdown.total,
+        flit_bits=bw.flit_bits(link_limit),
+    )
+
+
+def resolve_search_args(
+    func_name: str,
+    config: Optional[SearchConfig],
+    legacy: Dict[str, Any],
+    allowed: Tuple[str, ...],
+) -> Tuple[Optional[SearchConfig], Dict[str, Any]]:
+    """Shared shim logic for entry points accepting ``config=`` + legacy.
+
+    Rejects unknown keywords (preserving ``TypeError`` semantics for
+    typos), refuses mixing ``config`` with legacy keywords, and warns
+    once per process when the legacy spelling is used.  Returns the
+    config (possibly ``None``) and the validated legacy dict.
+    """
+    unknown = set(legacy) - set(allowed)
+    if unknown:
+        raise TypeError(
+            f"{func_name}() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}"
+        )
+    if legacy and config is not None:
+        raise ConfigurationError(
+            f"{func_name}() accepts either config= or the legacy keywords "
+            f"{sorted(legacy)}, not both"
+        )
+    if legacy:
+        warn_legacy_kwargs(func_name, legacy)
+    return config, legacy

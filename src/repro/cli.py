@@ -27,9 +27,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import SearchConfig
 from repro.core.connection_matrix import ConnectionMatrix
 from repro.core.optimizer import optimize, solve_row_problem
 from repro.harness.designs import EFFORTS, hfb_design, mesh_design
+from repro.routing.shortest_path import IMPLEMENTATIONS
 from repro.harness.tables import pct_change, render_table
 from repro.obs import Instrumentation, JsonlSink, report_file
 from repro.sim.config import SimConfig
@@ -41,38 +43,59 @@ from repro.traffic.parsec import PARSEC_NAMES, parsec_traffic
 from repro.traffic.patterns import PATTERNS, make_pattern
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--seed", type=int, default=2019)
-    p.add_argument(
+def _add_run_flags(
+    p: argparse.ArgumentParser, *, obs: bool = True, search: bool = False
+) -> None:
+    """The one shared option group for run/search/observability flags.
+
+    Every subcommand builds its common surface here -- ``optimize`` /
+    ``solve`` / ``simulate`` cannot drift apart in flag names, defaults
+    or help text.  ``search=True`` adds the flags that feed
+    :meth:`repro.api.SearchConfig.from_cli`; ``obs=False`` trims the
+    group to seed + effort for commands that never trace.
+    """
+    g = p.add_argument_group("run options")
+    g.add_argument("--seed", type=int, default=2019)
+    g.add_argument(
         "--effort", choices=sorted(EFFORTS), default="paper", help="annealing budget"
     )
-
-
-def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--jobs", type=int, default=1, metavar="K",
-        help="worker processes for the search (results are identical "
-        "for every value; default 1 = in-process)",
-    )
-    p.add_argument(
-        "--restarts", type=int, default=1, metavar="N",
-        help="independent SA chains per C (derived seeds; best chain wins)",
-    )
-
-
-def _add_obs_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--trace-out", metavar="PATH", default=None,
-        help="write structured events to PATH as JSON Lines",
-    )
-    p.add_argument(
-        "--metrics-every", type=int, default=500, metavar="N",
-        help="periodic sample interval (simulator cycles / SA moves)",
-    )
-    p.add_argument(
-        "--profile", action="store_true",
-        help="time spans and print the profile + metrics summary",
-    )
+    if search:
+        g.add_argument(
+            "--jobs", type=int, default=1, metavar="K",
+            help="worker processes for the search (results are identical "
+            "for every value; default 1 = in-process)",
+        )
+        g.add_argument(
+            "--restarts", type=int, default=1, metavar="N",
+            help="independent SA chains per C (derived seeds; best chain wins)",
+        )
+        g.add_argument(
+            "--impl", choices=IMPLEMENTATIONS, default="vectorized",
+            help="Floyd-Warshall implementation (reference = pure-Python oracle)",
+        )
+        g.add_argument(
+            "--incremental", action="store_true",
+            help="price SA moves with the O(n^2) incremental APSP engine "
+            "(placements identical to the full path for the same seed)",
+        )
+        g.add_argument(
+            "--resync-every", type=int, default=1_000, metavar="N",
+            help="incremental mode: full-FW drift self-check every N "
+            "accepted moves (0 disables)",
+        )
+    if obs:
+        g.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write structured events to PATH as JSON Lines",
+        )
+        g.add_argument(
+            "--metrics-every", type=int, default=500, metavar="N",
+            help="periodic sample interval (simulator cycles / SA moves)",
+        )
+        g.add_argument(
+            "--profile", action="store_true",
+            help="time spans and print the profile + metrics summary",
+        )
 
 
 def _make_obs(args: argparse.Namespace) -> Optional[Instrumentation]:
@@ -107,12 +130,11 @@ def _finish_obs(obs: Optional[Instrumentation], args: argparse.Namespace) -> Non
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
-    parallel = args.jobs > 1 or args.restarts > 1
+    cfg = SearchConfig.from_cli(args)
+    parallel = cfg.parallel
     sweep = optimize(
-        args.n, method=args.method, params=EFFORTS[args.effort], rng=args.seed,
-        obs=obs,
-        restarts=args.restarts if parallel else None,
-        jobs=args.jobs if parallel else None,
+        args.n, method=args.method, params=EFFORTS[args.effort],
+        obs=obs, config=cfg,
     )
     if args.save:
         from repro.io import save_sweep
@@ -155,7 +177,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
-    if args.jobs > 1 or args.restarts > 1:
+    cfg = SearchConfig.from_cli(args)
+    if cfg.parallel:
         from repro.core.parallel import parallel_row_search
 
         sol, energies = parallel_row_search(
@@ -163,9 +186,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             args.c,
             method=args.method,
             params=EFFORTS[args.effort],
-            base_seed=args.seed,
-            restarts=args.restarts,
-            jobs=args.jobs,
+            base_seed=cfg.seed,
+            restarts=cfg.restarts,
+            jobs=cfg.jobs,
+            impl=cfg.impl,
+            incremental=cfg.incremental,
+            resync_every=cfg.resync_every,
             obs=obs,
         )
     else:
@@ -174,9 +200,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             args.c,
             method=args.method,
             params=EFFORTS[args.effort],
-            rng=args.seed,
             obs=obs,
-            progress_every=args.metrics_every,
+            config=cfg,
         )
         energies = None
     print(f"P~({args.n},{args.c}) [{args.method}]")
@@ -241,7 +266,8 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     sol = solve_row_problem(
-        args.n, args.c, method=args.method, params=EFFORTS[args.effort], rng=args.seed
+        args.n, args.c, method=args.method, params=EFFORTS[args.effort],
+        config=SearchConfig(seed=args.seed),
     )
     report = audit_row(sol.placement, args.c)
     print(f"P~({args.n},{args.c}) [{args.method}]: {sorted(sol.placement.express_links)}")
@@ -318,9 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--method", choices=("dc_sa", "only_sa"), default="dc_sa")
     p.add_argument("--save", metavar="FILE", help="write the sweep as JSON")
-    _add_common(p)
-    _add_parallel_flags(p)
-    _add_obs_flags(p)
+    _add_run_flags(p, search=True)
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
@@ -328,16 +352,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--scheme", choices=("mesh", "hfb", "dc_sa"), default="dc_sa")
-    _add_common(p)
+    _add_run_flags(p, obs=False)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("solve", help="solve one P~(n, C) instance")
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--c", type=int, default=4)
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
-    _add_common(p)
-    _add_parallel_flags(p)
-    _add_obs_flags(p)
+    _add_run_flags(p, search=True)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("simulate", help="cycle-accurate simulation of a scheme")
@@ -352,15 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=0.02, help="packets/node/cycle")
     p.add_argument("--warmup", type=int, default=500)
     p.add_argument("--measure", type=int, default=2_000)
-    _add_common(p)
-    _add_obs_flags(p)
+    _add_run_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("inspect", help="show a placement's structure")
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--c", type=int, default=4)
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
-    _add_common(p)
+    _add_run_flags(p, obs=False)
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("experiments", help="list paper-figure regenerators")

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.connection_matrix import ConnectionMatrix
 from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
 from repro.util.rngtools import ensure_rng
 
 Objective = Callable[[RowPlacement], float]
@@ -145,6 +147,58 @@ class MemoizedObjective:
         return len(self._cache)
 
 
+class _IncrementalMemo:
+    """Accounting twin of :class:`MemoizedObjective` for the engine path.
+
+    In incremental mode every candidate is priced by the APSP engine --
+    never served from a cache -- but the annealer's evaluation budget,
+    trace points, stage events and memo metrics are all defined by
+    MemoizedObjective's counters.  This class replays that bookkeeping
+    exactly (same bounded clear-wholesale cache semantics), keyed by
+    the engine's link set, which maps 1:1 to ``canonical_bytes`` at
+    fixed ``n`` -- so both modes agree on every counter at every move
+    and the search trajectories stay comparable move for move.
+    """
+
+    def __init__(self, max_size: int = MemoizedObjective.DEFAULT_MAX_SIZE):
+        self._seen: set = set()
+        self.max_size = max_size
+        self.evaluations = 0
+        self.calls = 0
+        self.hits = 0
+        self.misses = 0
+        self.overflows = 0
+
+    def account(self, key: frozenset) -> None:
+        self.calls += 1
+        if key in self._seen:
+            self.hits += 1
+            return
+        self.misses += 1
+        if len(self._seen) >= self.max_size:
+            self._seen.clear()
+            self.overflows += 1
+        self._seen.add(key)
+        self.evaluations += 1
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+def _layer_link_counts(state: ConnectionMatrix) -> Counter:
+    """Multiset of links over all layers (layers may duplicate a link;
+    the decoded placement changes only when a count crosses 0 <-> 1)."""
+    counts: Counter = Counter()
+    for layer in range(state.bits.shape[1]):
+        for link in state.layer_links(layer):
+            counts[link] += 1
+    return counts
+
+
 def anneal(
     initial: ConnectionMatrix,
     objective: Objective,
@@ -154,6 +208,8 @@ def anneal(
     trace_every: int = 1,
     obs: Optional[Instrumentation] = None,
     progress_every: int = 0,
+    incremental: bool = False,
+    resync_every: int = 1_000,
 ) -> AnnealingResult:
     """Run simulated annealing from ``initial`` and return the best state.
 
@@ -182,17 +238,54 @@ def anneal(
     progress_every:
         With ``obs`` attached, additionally emit a ``sa.progress``
         event every this many moves (0 disables).
+    incremental:
+        Price candidates with the O(n^2) dynamic APSP engine
+        (:mod:`repro.routing.incremental`) instead of a full
+        Floyd-Warshall pass per move.  Requires an objective exposing
+        ``incremental_evaluator`` (:class:`~repro.core.latency
+        .RowObjective` does).  Under exactly-representable hop costs
+        (the integral defaults) the trajectory -- accept/reject
+        decisions, RNG stream, counters, trace -- is identical to the
+        full path, so results are byte-for-byte the same.
+    resync_every:
+        In incremental mode, every this many accepted moves re-solve
+        with full Floyd-Warshall and verify the engine state is
+        bit-identical (distances and next-hops); on mismatch emit an
+        ``sa.resync`` event and repair from the full solve instead of
+        corrupting the run.  0 disables the self-check.
     """
     params = params or AnnealingParams()
     gen = ensure_rng(rng)
     obs = ensure_obs(obs)
-    memo = MemoizedObjective(objective)
     state = initial.copy()
 
-    start = time.perf_counter()
-    current_energy = memo(state.decode())
+    if incremental:
+        if not hasattr(objective, "incremental_evaluator"):
+            raise ConfigurationError(
+                "incremental annealing needs an objective with an "
+                "incremental_evaluator() (e.g. RowObjective); got "
+                f"{type(objective).__name__}"
+            )
+        start = time.perf_counter()
+        initial_placement = state.decode()
+        evaluator = objective.incremental_evaluator(initial_placement)
+        engine = evaluator.engine
+        link_counts = _layer_link_counts(state)
+        memo = _IncrementalMemo()
+        current_energy = evaluator.energy()
+        memo.account(frozenset(engine.links))
+        best_placement = initial_placement
+        incremental_evals = 0
+        full_evals = 1  # the engine's initial build
+        selfchecks = resyncs = 0
+        accepted_since_check = 0
+    else:
+        evaluator = engine = link_counts = None
+        memo = MemoizedObjective(objective)
+        start = time.perf_counter()
+        current_energy = memo(state.decode())
+        best_placement = state.decode()
     initial_energy = current_energy
-    best_placement = state.decode()
     best_energy = current_energy
     trace: List[Tuple[int, float]] = [(memo.evaluations, best_energy)]
     accepted = 0
@@ -258,9 +351,33 @@ def anneal(
             stage = new_stage
             stage_moves = stage_accepted = stage_uphill = 0
         row, layer = state.random_move(gen)
-        state.flip(row, layer)
-        candidate = state.decode()
-        energy = memo(candidate)
+        if engine is None:
+            state.flip(row, layer)
+            candidate = state.decode()
+            energy = memo(candidate)
+        else:
+            added_l, removed_l = state.flip_diff(row, layer)
+            state.flip(row, layer)
+            changes = []
+            for link in removed_l:
+                link_counts[link] -= 1
+                if link_counts[link] == 0:
+                    changes.append((link[0], link[1], False))
+            for link in added_l:
+                link_counts[link] += 1
+                if link_counts[link] == 1:
+                    changes.append((link[0], link[1], True))
+            if changes:
+                engine.checkpoint()
+                engine.apply_link_changes(changes)
+                energy = evaluator.energy()
+                incremental_evals += 1
+            else:
+                # Layers changed but the decoded placement did not
+                # (duplicate links across layers): same state, same
+                # energy -- exactly what the full path's memo returns.
+                energy = current_energy
+            memo.account(frozenset(engine.links))
         delta = energy - current_energy
         stage_moves += 1
         moves_done += 1
@@ -273,11 +390,42 @@ def anneal(
                 stage_uphill += 1
             if energy < best_energy:
                 best_energy = energy
-                best_placement = candidate
+                if engine is None:
+                    best_placement = candidate
+                else:
+                    best_placement = RowPlacement(
+                        state.n, frozenset(engine.links)
+                    )
                 if obs.enabled:
                     obs.emit("sa.best", move=move, energy=best_energy,
                              evaluations=memo.evaluations)
+            if engine is not None:
+                if changes:
+                    engine.commit()
+                accepted_since_check += 1
+                if resync_every and accepted_since_check >= resync_every:
+                    accepted_since_check = 0
+                    selfchecks += 1
+                    full_evals += 1
+                    if not engine.self_check():
+                        resyncs += 1
+                        full_evals += 1
+                        engine.resync()
+                        repaired = evaluator.energy()
+                        if obs.enabled:
+                            obs.emit("sa.resync", move=move,
+                                     energy_before=current_energy,
+                                     energy_after=repaired,
+                                     evaluations=memo.evaluations)
+                        current_energy = repaired
         else:
+            if engine is not None:
+                if changes:
+                    engine.rollback()
+                for link in added_l:
+                    link_counts[link] -= 1
+                for link in removed_l:
+                    link_counts[link] += 1
             state.flip(row, layer)  # undo
         if move % trace_every == 0:
             trace.append((memo.evaluations, best_energy))
@@ -305,6 +453,11 @@ def anneal(
         m.counter("sa.memo_misses").inc(memo.misses)
         m.gauge("sa.memo_hit_ratio").set(memo.hit_ratio)
         m.gauge("sa.best_energy").set(best_energy)
+        if engine is not None:
+            m.counter("sa.eval.incremental").inc(incremental_evals)
+            m.counter("sa.eval.full").inc(full_evals)
+            m.counter("sa.selfcheck").inc(selfchecks)
+            m.counter("sa.resync").inc(resyncs)
     return AnnealingResult(
         best_placement=best_placement,
         best_energy=best_energy,

@@ -39,7 +39,7 @@ from repro.core.latency import (
     RowObjective,
     mean_row_head_latency,
 )
-from repro.core.optimizer import RowSolution, solve_row_problem
+from repro.core.optimizer import RowSolution, _solve_row
 from repro.routing.shortest_path import HopCostModel
 from repro.topology.mesh import MeshTopology
 from repro.topology.row import RowPlacement
@@ -160,7 +160,7 @@ def optimize_application_aware(
         objective = RowObjective(
             cost=cost, weights=tuple(map(tuple, weights.tolist()))
         )
-        return solve_row_problem(
+        return _solve_row(
             n, link_limit, method=method, objective=objective, params=params, rng=gen
         )
 

@@ -161,6 +161,34 @@ class ConnectionMatrix:
         """Flip one connection point in place (the SA move)."""
         self.bits[row, layer] = not self.bits[row, layer]
 
+    def flip_diff(
+        self, row: int, layer: int
+    ) -> Tuple[List[Link], List[Link]]:
+        """Layer-link ``(added, removed)`` lists for flipping ``(row,
+        layer)`` -- call *before* :meth:`flip`.
+
+        A flip only merges or splits the fused run containing router
+        ``row + 1``, so the diff is found by scanning that run's two
+        ends instead of re-decoding the layer: O(run length), and the
+        basis of the incremental annealing path.
+        """
+        col = self.bits[:, layer]
+        p = row + 1  # router index of the flipped connection point
+        s = p - 1
+        while s >= 1 and col[s - 1]:
+            s -= 1
+        e = p + 1
+        while e <= self.n - 2 and col[e - 1]:
+            e += 1
+        inner = []
+        if p - s >= 2:
+            inner.append((s, p))
+        if e - p >= 2:
+            inner.append((p, e))
+        if col[row]:  # splitting [s, e] at p
+            return inner, [(s, e)]
+        return [(s, e)], inner  # fusing [s, p] + [p, e]
+
     def random_move(self, rng=None) -> Tuple[int, int]:
         """Pick a uniformly random connection point to flip."""
         gen = ensure_rng(rng)

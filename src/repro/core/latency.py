@@ -288,6 +288,56 @@ class RowObjective:
             obs=self.obs,
         )
 
+    def incremental_evaluator(
+        self, placement: RowPlacement
+    ) -> "IncrementalRowEvaluator":
+        """An engine-backed evaluator seeded at ``placement``.
+
+        The returned evaluator prices single-link changes in O(n^2)
+        (see :mod:`repro.routing.incremental`) and produces energies
+        equal to ``self(placement)``; under exactly-representable hop
+        costs (the integral defaults) they are bitwise-identical, which
+        is what the annealer's drift self-check asserts.
+        """
+        return IncrementalRowEvaluator(self, placement)
+
+
+class IncrementalRowEvaluator:
+    """Incremental counterpart of :class:`RowObjective`.
+
+    Wraps an :class:`~repro.routing.incremental.IncrementalApspEngine`
+    (exposed as ``.engine`` for checkpoint/apply/rollback) and mirrors
+    the objective's energy formula -- including the weighted variant
+    and its zero-traffic fallback -- term for term, so the two paths
+    agree bit-for-bit whenever the engine's distances match the full
+    solver's.
+    """
+
+    def __init__(self, objective: RowObjective, placement: RowPlacement):
+        from repro.routing.incremental import IncrementalApspEngine
+
+        self.objective = objective
+        self.engine = IncrementalApspEngine(placement, objective.cost)
+        w = (
+            None
+            if objective.weights is None
+            else np.asarray(objective.weights, dtype=float)
+        )
+        if w is not None and w.sum() <= 0:
+            w = None
+        if w is not None and w.shape != (placement.n, placement.n):
+            raise ConfigurationError(
+                f"weights shape {w.shape} != {(placement.n, placement.n)}"
+            )
+        self._w = w
+        self._total = None if w is None else w.sum()
+
+    def energy(self) -> float:
+        if self._w is None:
+            return self.engine.mean_distance()
+        dist = self.engine.distances()
+        return float((dist * self._w).sum() / self._total)
+
 
 # ----------------------------------------------------------------------
 # Whole-network latency summaries

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.api import SearchConfig, resolve_search_args
 from repro.core.annealing import (
     AnnealingParams,
     AnnealingResult,
@@ -115,23 +116,91 @@ def solve_row_problem(
     method: str = "dc_sa",
     objective: Objective | None = None,
     params: AnnealingParams | None = None,
-    rng=None,
-    max_evaluations: Optional[int] = None,
     obs: Optional[Instrumentation] = None,
-    progress_every: int = 0,
+    config: Optional[SearchConfig] = None,
+    **legacy,
 ) -> RowSolution:
     """Solve ``P~(n, C)`` with the chosen method.
+
+    Execution knobs arrive in ``config`` (a
+    :class:`~repro.api.SearchConfig`); with ``restarts``/``jobs`` > 1
+    the solve routes to the multi-restart engine and returns its
+    winning chain.  The pre-redesign keywords (``rng``,
+    ``max_evaluations``, ``progress_every``) still work and emit one
+    :class:`DeprecationWarning` per process -- see ``docs/api.md``.
 
     ``obs`` flows into the D&C seeder, the annealer and (when no
     explicit ``objective`` is given) the Floyd-Warshall evaluator, so a
     single :class:`~repro.obs.Instrumentation` observes the whole
-    solve.  ``progress_every`` forwards to :func:`anneal`.
+    solve.
     """
+    config, legacy = resolve_search_args(
+        "solve_row_problem", config, legacy,
+        ("rng", "max_evaluations", "progress_every"),
+    )
+    if config is not None and config.parallel:
+        from repro.core.parallel import parallel_row_search
+
+        # Workers rebuild the objective from picklable parts; arbitrary
+        # callables cannot cross the pool boundary.
+        cost = weights = None
+        impl = config.impl
+        if isinstance(objective, RowObjective):
+            cost, weights, impl = objective.cost, objective.weights, objective.impl
+        elif objective is not None:
+            raise ConfigurationError(
+                "parallel solve_row_problem supports RowObjective (or None); "
+                f"got {type(objective).__name__}"
+            )
+        solution, _ = parallel_row_search(
+            n, link_limit, method=method, params=params,
+            cost=cost, weights=weights, impl=impl,
+            base_seed=config.seed,
+            max_evaluations=config.max_evaluations,
+            restarts=config.restarts, jobs=config.jobs,
+            incremental=config.incremental,
+            resync_every=config.resync_every, obs=obs,
+        )
+        return solution
+    if config is not None:
+        return _solve_row(
+            n, link_limit, method=method, objective=objective,
+            params=params, rng=config.seed,
+            max_evaluations=config.max_evaluations, obs=obs,
+            progress_every=config.metrics_every, impl=config.impl,
+            incremental=config.incremental,
+            resync_every=config.resync_every,
+        )
+    return _solve_row(
+        n, link_limit, method=method, objective=objective, params=params,
+        rng=legacy.get("rng"),
+        max_evaluations=legacy.get("max_evaluations"),
+        obs=obs, progress_every=legacy.get("progress_every", 0),
+    )
+
+
+def _solve_row(
+    n: int,
+    link_limit: int,
+    *,
+    method: str = "dc_sa",
+    objective: Objective | None = None,
+    params: AnnealingParams | None = None,
+    rng=None,
+    max_evaluations: Optional[int] = None,
+    obs: Optional[Instrumentation] = None,
+    progress_every: int = 0,
+    impl: str = "vectorized",
+    incremental: bool = False,
+    resync_every: int = 1_000,
+) -> RowSolution:
+    """Single-chain ``P~(n, C)`` solve (internal: no shim, ``rng`` may
+    be a shared generator)."""
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
     obs = ensure_obs(obs)
     if objective is None:
-        objective = RowObjective(obs=None if obs.is_null else obs)
+        objective = RowObjective(impl=impl, obs=None if obs.is_null else obs)
     params = params or AnnealingParams()
     gen = ensure_rng(rng)
     limit = effective_link_limit(n, link_limit)
@@ -169,6 +238,8 @@ def solve_row_problem(
             max_evaluations=max_evaluations,
             obs=obs,
             progress_every=progress_every,
+            incremental=incremental,
+            resync_every=resync_every,
         )
     placement, energy = sa.best_placement, sa.best_energy
     if seed is not None and seed.energy < energy:
@@ -266,7 +337,7 @@ def optimize_rectangular(
             if limit == 1 or dim < 3:
                 solved[dim] = RowPlacement.mesh(dim)
             else:
-                solved[dim] = solve_row_problem(
+                solved[dim] = _solve_row(
                     dim, limit, method=method, objective=objective,
                     params=params, rng=gen,
                 ).placement
@@ -297,12 +368,10 @@ def optimize(
     mix: PacketMix | None = None,
     cost: HopCostModel | None = None,
     params: AnnealingParams | None = None,
-    rng=None,
     link_limits: Optional[Tuple[int, ...]] = None,
-    max_evaluations: Optional[int] = None,
     obs: Optional[Instrumentation] = None,
-    restarts: Optional[int] = None,
-    jobs: Optional[int] = None,
+    config: Optional[SearchConfig] = None,
+    **legacy,
 ) -> SweepResult:
     """Full optimization: sweep ``C``, solve each ``P~(n, C)``, cost them.
 
@@ -311,16 +380,44 @@ def optimize(
     ``obs`` observes every per-``C`` solve through one instrumentation
     context.
 
-    With ``restarts`` and/or ``jobs`` given, the sweep routes to the
-    multi-restart engine (:mod:`repro.core.parallel`): ``restarts``
-    independent SA chains per ``C`` on up to ``jobs`` processes, seeds
-    derived per ``(C, restart)``, best chain kept per ``C``.  ``rng``
-    must then be an integer seed (or ``None``), and for a fixed seed
-    the result is bit-identical across all ``jobs`` values.  Left both
-    ``None`` (the default), the legacy sequential path runs unchanged:
-    one chain per ``C``, all fed from a single shared stream.
+    Execution knobs arrive in ``config`` (a
+    :class:`~repro.api.SearchConfig`).  With ``restarts``/``jobs`` > 1
+    the sweep routes to the multi-restart engine
+    (:mod:`repro.core.parallel`): independent SA chains per ``C`` with
+    per-``(C, restart)`` derived seeds, best chain kept, results
+    bit-identical across all ``jobs`` values for a fixed seed.
+    Otherwise the sequential path runs: one chain per ``C``, all fed
+    from a single shared stream seeded by ``config.seed``.
+
+    The pre-redesign keywords (``rng``, ``restarts``, ``jobs``,
+    ``max_evaluations``) still work -- including a shared generator as
+    ``rng`` on the sequential path -- and emit one
+    :class:`DeprecationWarning` per process; see ``docs/api.md``.
     """
-    if restarts is not None or jobs is not None:
+    config, legacy = resolve_search_args(
+        "optimize", config, legacy,
+        ("rng", "restarts", "jobs", "max_evaluations"),
+    )
+    impl = "vectorized"
+    incremental = False
+    resync_every = 1_000
+    if config is not None:
+        rng = config.seed
+        max_evaluations = config.max_evaluations
+        use_parallel = config.parallel
+        restarts, jobs = config.restarts, config.jobs
+        impl = config.impl
+        incremental = config.incremental
+        resync_every = config.resync_every
+    else:
+        rng = legacy.get("rng")
+        max_evaluations = legacy.get("max_evaluations")
+        restarts = legacy.get("restarts")
+        jobs = legacy.get("jobs")
+        # Legacy semantics: mentioning either knob routes to the
+        # multi-restart engine, even with value 1.
+        use_parallel = restarts is not None or jobs is not None
+    if use_parallel:
         from repro.core.parallel import parallel_sweep
 
         return parallel_sweep(
@@ -335,6 +432,9 @@ def optimize(
             max_evaluations=max_evaluations,
             restarts=restarts or 1,
             jobs=jobs or 1,
+            impl=impl,
+            incremental=incremental,
+            resync_every=resync_every,
             obs=obs,
         )
     bandwidth = bandwidth or BandwidthConfig()
@@ -343,7 +443,7 @@ def optimize(
     gen = ensure_rng(rng)
     obs = ensure_obs(obs)
     limits = link_limits or bandwidth.valid_link_limits(n)
-    objective = RowObjective(cost=cost, obs=None if obs.is_null else obs)
+    objective = RowObjective(cost=cost, impl=impl, obs=None if obs.is_null else obs)
 
     result = SweepResult(n=n, method=method)
     for limit in limits:
@@ -358,7 +458,7 @@ def optimize(
                 wall_time_s=0.0,
             )
         else:
-            solution = solve_row_problem(
+            solution = _solve_row(
                 n,
                 limit,
                 method=method,
@@ -367,6 +467,8 @@ def optimize(
                 rng=gen,
                 max_evaluations=max_evaluations,
                 obs=obs,
+                incremental=incremental,
+                resync_every=resync_every,
             )
         result.solutions[limit] = solution
         result.points[limit] = design_point(

@@ -43,8 +43,8 @@ from repro.core.optimizer import (
     METHODS,
     RowSolution,
     SweepResult,
+    _solve_row,
     design_point,
-    solve_row_problem,
 )
 from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.obs.sinks import MemorySink
@@ -74,6 +74,8 @@ class SearchTask:
     base_seed: int
     max_evaluations: Optional[int]
     capture_events: bool
+    incremental: bool = False
+    resync_every: int = 1_000
 
 
 @dataclass
@@ -99,7 +101,7 @@ def _run_task(task: SearchTask) -> TaskResult:
         impl=task.impl,
         obs=None if obs.is_null else obs,
     )
-    solution = solve_row_problem(
+    solution = _solve_row(
         task.n,
         task.link_limit,
         method=task.method,
@@ -108,6 +110,8 @@ def _run_task(task: SearchTask) -> TaskResult:
         rng=derived_rng(task.base_seed, task.link_limit, task.restart),
         max_evaluations=task.max_evaluations,
         obs=obs,
+        incremental=task.incremental,
+        resync_every=task.resync_every,
     )
     return TaskResult(
         link_limit=task.link_limit,
@@ -183,6 +187,8 @@ def _build_tasks(
     base_seed: int,
     max_evaluations: Optional[int],
     capture_events: bool,
+    incremental: bool = False,
+    resync_every: int = 1_000,
 ) -> List[SearchTask]:
     return [
         SearchTask(
@@ -197,6 +203,8 @@ def _build_tasks(
             base_seed=base_seed,
             max_evaluations=max_evaluations,
             capture_events=capture_events,
+            incremental=incremental,
+            resync_every=resync_every,
         )
         for limit in limits
         for r in range(restarts)
@@ -215,6 +223,8 @@ def parallel_row_search(
     max_evaluations: Optional[int] = None,
     restarts: int = 1,
     jobs: int = 1,
+    incremental: bool = False,
+    resync_every: int = 1_000,
     obs: Optional[Instrumentation] = None,
 ) -> Tuple[RowSolution, Tuple[float, ...]]:
     """Multi-restart solve of one ``P~(n, C)`` instance.
@@ -233,7 +243,8 @@ def parallel_row_search(
     tasks = _build_tasks(
         n, [link_limit], restarts, method, params or AnnealingParams(),
         cost or HopCostModel(), weights, impl, seed, max_evaluations,
-        capture_events=obs.enabled,
+        capture_events=obs.enabled, incremental=incremental,
+        resync_every=resync_every,
     )
     if obs.enabled:
         obs.emit("parallel.start", n=n, link_limit=link_limit, method=method,
@@ -266,6 +277,8 @@ def parallel_sweep(
     jobs: int = 1,
     weights=None,
     impl: str = "vectorized",
+    incremental: bool = False,
+    resync_every: int = 1_000,
     obs: Optional[Instrumentation] = None,
 ) -> SweepResult:
     """Full ``C`` sweep with ``restarts`` SA chains per limit.
@@ -293,6 +306,7 @@ def parallel_sweep(
     tasks = _build_tasks(
         n, searched, restarts, method, params, cost, weights, impl, seed,
         max_evaluations, capture_events=obs.enabled,
+        incremental=incremental, resync_every=resync_every,
     )
     if obs.enabled:
         obs.emit("parallel.start", n=n, method=method, restarts=restarts,

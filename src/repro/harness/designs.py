@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 
 from repro.core.annealing import AnnealingParams
 from repro.core.latency import BandwidthConfig, PacketMix
+from repro.api import SearchConfig
 from repro.core.optimizer import DesignPoint, SweepResult, design_point, optimize
 from repro.routing.shortest_path import HopCostModel
 from repro.topology.flattened_butterfly import (
@@ -68,7 +69,7 @@ def _sweep(n: int, method: str, seed: int, effort: str, base_flit: int) -> Sweep
         mix=PacketMix.paper_default(),
         cost=HopCostModel(),
         params=EFFORTS[effort],
-        rng=seed,
+        config=SearchConfig(seed=seed),
     )
 
 

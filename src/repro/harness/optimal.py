@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 from repro.core.annealing import AnnealingParams
 from repro.core.branch_bound import exhaustive_matrix_search
 from repro.core.latency import RowObjective
+from repro.api import SearchConfig
 from repro.core.optimizer import solve_row_problem
 from repro.harness.tables import render_table
 
@@ -84,7 +85,8 @@ def fig12(
     for n, limit in instances:
         exact = exhaustive_matrix_search(n, limit, objective)
         dc = solve_row_problem(
-            n, limit, method="dc_sa", objective=objective, params=params, rng=seed
+            n, limit, method="dc_sa", objective=objective, params=params,
+            config=SearchConfig(seed=seed),
         )
         out.append(
             OptimalComparison(

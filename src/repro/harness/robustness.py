@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.annealing import AnnealingParams
 from repro.core.latency import RowObjective
+from repro.api import SearchConfig
 from repro.core.optimizer import solve_row_problem
 from repro.harness.tables import render_table
 
@@ -96,7 +97,7 @@ def seed_robustness(
         energies = tuple(
             solve_row_problem(
                 n, link_limit, method=method, objective=objective,
-                params=params, rng=seed,
+                params=params, config=SearchConfig(seed=seed),
             ).energy
             for seed in seeds
         )

@@ -11,6 +11,7 @@ from repro.routing.shortest_path import (
     floyd_warshall,
     weight_matrix,
 )
+from repro.routing.incremental import IncrementalApspEngine
 from repro.routing.tables import RoutingTables
 from repro.routing.dor import (
     compute_route,
@@ -35,6 +36,7 @@ __all__ = [
     "floyd_warshall_distances",
     "floyd_warshall",
     "weight_matrix",
+    "IncrementalApspEngine",
     "RoutingTables",
     "compute_route",
     "route_head_latency",

@@ -1,0 +1,362 @@
+"""Dynamic directional APSP for row graphs: O(n^2) per express-link flip.
+
+The SA inner loop flips one connection bit per move, but the full
+objective re-prices the candidate with a from-scratch directional
+Floyd-Warshall pass -- O(n^3) work for a single-edge change.  This
+module maintains the two directional distance matrices *incrementally*:
+adding or removing one express link costs one O(n^2) block rewrite, and
+a rejected move is undone from a checkpoint without any recompute.
+
+Why a single-edge change is an O(n^2) rewrite
+---------------------------------------------
+
+Row-graph routes are monotone: a left-to-right path from ``i`` to ``j``
+only ever moves right, so it crosses the cut between routers ``b - 1``
+and ``b`` exactly once, through one of the few edges that span the cut
+(the local link ``(b - 1, b)`` plus every express link ``(u, v)`` with
+``u < b <= v``).  Changing a link whose right endpoint is ``b`` can
+therefore only affect pairs ``(i, j)`` with ``i < b <= j``, and for
+those pairs the distance decomposes over the crossing edges::
+
+    D'(i, j) = min over crossing (u, v) of  D(i, u) + w(u, v) + D(v, j)
+
+where ``D(i, u)`` (``u < b``) and ``D(v, j)`` (``v >= b``) are existing
+distances on the unchanged sides of the cut.  The same identity holds
+for additions *and* removals -- the min is re-taken over the new
+crossing set -- and, by symmetry, for the right-to-left direction with
+identical indices once that matrix is stored transposed.  One numpy
+broadcast evaluates the min for the whole affected block.
+
+A connection-matrix bit flip maps to at most three link changes with at
+most two distinct right endpoints; processing right endpoints in
+increasing order keeps every input of each block rewrite current (any
+cell an earlier group wrote stale is inside the later group's block).
+
+Checkpoint / rollback
+---------------------
+
+``checkpoint()`` arms an undo slot; the next ``apply_link_changes``
+snapshots the (small) block it is about to overwrite.  ``rollback()``
+restores the block and the link set; ``commit()`` discards the slot.
+Only one change set can be pending at a time -- exactly the SA
+propose/accept/reject shape.
+
+Drift self-check
+----------------
+
+All block updates compute the same mins as Floyd-Warshall, but may
+associate floating-point additions differently, so bit-identity with
+the full solver is guaranteed only when hop-cost sums are exact (e.g.
+the integral default :class:`HopCostModel`).  ``self_check()`` compares
+the maintained state -- distances *and* reconstructed next-hops --
+against a from-scratch solve, and ``resync()`` repairs by rebuilding.
+The annealer runs this periodically and emits an ``sa.resync`` event on
+mismatch rather than corrupting the run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.shortest_path import (
+    HopCostModel,
+    floyd_warshall_batch,
+    floyd_warshall_distances_batch,
+    weight_stack,
+)
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+#: One link edit: ``(a, b, is_add)`` with ``a < b``.
+LinkChange = Tuple[int, int, bool]
+
+
+class IncrementalApspEngine:
+    """Maintains directional row-graph distances under link flips.
+
+    State layout (all float64, shape ``(n, n)``):
+
+    * ``_S[0][i, j]`` -- left-to-right distance ``i -> j`` (``i <= j``),
+    * ``_S[1][j, i]`` -- right-to-left distance ``i -> j`` (``i >= j``),
+      stored transposed so both directions update with the same indices,
+    * ``_D`` -- the combined matrix :func:`directional_distances`
+      returns (upper = l2r, lower = r2l, diagonal zero), synced lazily
+      from ``_S`` because only :meth:`distances` needs it.
+    """
+
+    def __init__(
+        self, placement: RowPlacement, cost: Optional[HopCostModel] = None
+    ) -> None:
+        self.n = placement.n
+        self.cost = cost or HopCostModel()
+        self.links = set(placement.express_links)
+        self._hop = [self.cost.hop_cost(k) for k in range(max(self.n, 2))]
+        self._upper = np.triu(np.ones((self.n, self.n), dtype=bool), k=1)
+        self._armed = False
+        self._undo = None
+        self._rebuild()
+
+    # -- construction / repair ------------------------------------------
+
+    def _rebuild(self) -> None:
+        stack = floyd_warshall_distances_batch(
+            weight_stack(self.placement, self.cost)
+        )
+        self._S = np.empty((2, self.n, self.n))
+        self._S[0] = stack[0]
+        self._S[1] = stack[1].T
+        self._D = np.where(self._upper, stack[0], stack[1])
+        np.fill_diagonal(self._D, 0.0)
+        self._dirty = []  # (rows, b) boxes where _D lags _S
+        self._d_touched = False
+
+    @property
+    def placement(self) -> RowPlacement:
+        """The placement currently encoded in the engine's link set."""
+        return RowPlacement(self.n, frozenset(self.links))
+
+    # -- the O(n^2) update ----------------------------------------------
+
+    def _update_boundary(self, amax: int, b: int) -> None:
+        """Re-min the block ``rows <= amax``, ``cols >= b`` over the
+        edges crossing the (b-1 | b) cut, in both directions at once."""
+        S = self._S
+        hop = self._hop
+        us = [b - 1]
+        vs = [b]
+        cs = [hop[1]]
+        for (u, v) in self.links:
+            if u < b <= v:
+                us.append(u)
+                vs.append(v)
+                cs.append(hop[v - u])
+        rows = amax + 1
+        if len(us) < 5:
+            # Few crossing edges (the norm: the cross-section limit caps
+            # them): scalar-indexed views beat the fancy-index gather's
+            # dispatch overhead.  Same association order, so the sums
+            # stay bitwise-equal to the batched form.
+            acc = None
+            for u, v, c in zip(us, vs, cs):
+                t = (S[:, :rows, u, None] + c) + S[:, v, None, b:]
+                if acc is None:
+                    acc = t
+                else:
+                    np.minimum(acc, t, out=acc)
+            S[:, :rows, b:] = acc
+        else:
+            A = S[:, :rows, us]  # (2, rows, K) gather -> safe to add in place
+            A += np.array(cs)
+            T = A[:, :, :, None] + S[:, vs, b:][:, None, :, :]
+            np.min(T, axis=2, out=S[:, :rows, b:])
+
+    def _sync(self) -> None:
+        # Every box satisfies rows <= b (link left endpoints sit left of
+        # the boundary), so each lies strictly in its layer's own
+        # triangle and plain slice copies never leak an inf sentinel
+        # from the other layer's dead half.
+        if self._dirty:
+            for rows, b in self._dirty:
+                self._D[:rows, b:] = self._S[0, :rows, b:]
+                self._D[b:, :rows] = self._S[1, :rows, b:].T
+            self._dirty = []
+            self._d_touched = True
+
+    # -- edit API --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Arm the undo slot: the next change set becomes revertible."""
+        if self._undo is not None:
+            raise ConfigurationError(
+                "a change set is already pending; commit() or rollback() first"
+            )
+        self._armed = True
+
+    def apply_link_changes(self, changes: Sequence[LinkChange]) -> None:
+        """Apply link additions/removals and update both distance layers.
+
+        ``changes`` may arrive in any order; groups sharing a right
+        endpoint are processed in increasing-``b`` order (required for
+        correctness when a flip edits links at two boundaries).
+        """
+        if self._armed and self._undo is not None:
+            raise ConfigurationError(
+                "a change set is already pending; commit() or rollback() first"
+            )
+        links = self.links
+        for a, b, is_add in changes:
+            if is_add == ((a, b) in links):
+                verb = "add existing" if is_add else "remove absent"
+                raise ConfigurationError(f"cannot {verb} link ({a}, {b})")
+        self._sync()
+        self._d_touched = False
+        if self._armed:
+            # Snapshot each group's block just before overwriting it;
+            # rollback replays the blocks in reverse so overlapping
+            # groups unwind to the original state.
+            self._undo = ([], tuple(changes))
+        if len(changes) > 1:
+            changes = sorted(changes, key=lambda c: c[1])
+        i = 0
+        nch = len(changes)
+        while i < nch:
+            b = changes[i][1]
+            amax = 0
+            while i < nch and changes[i][1] == b:
+                a, _, is_add = changes[i]
+                if is_add:
+                    links.add((a, b))
+                else:
+                    links.discard((a, b))
+                if a > amax:
+                    amax = a
+                i += 1
+            rows = amax + 1
+            if self._undo is not None:
+                self._undo[0].append(
+                    (rows, b, self._S[:, :rows, b:].copy())
+                )
+            self._dirty.append((rows, b))
+            self._update_boundary(amax, b)
+
+    def add_link(self, a: int, b: int) -> None:
+        self.apply_link_changes([(a, b, True)])
+
+    def remove_link(self, a: int, b: int) -> None:
+        self.apply_link_changes([(a, b, False)])
+
+    def rollback(self) -> None:
+        """Restore the state from before the pending change set."""
+        if self._undo is None:
+            raise ConfigurationError("no pending change set to roll back")
+        blocks, changes = self._undo
+        touched = self._d_touched
+        for rows, b, block in reversed(blocks):
+            self._S[:, :rows, b:] = block
+            if touched:
+                self._D[:rows, b:] = block[0]
+                self._D[b:, :rows] = block[1].T
+        self._dirty = []
+        self._d_touched = False
+        for a, b, is_add in changes:
+            if is_add:
+                self.links.discard((a, b))
+            else:
+                self.links.add((a, b))
+        self._undo = None
+        self._armed = False
+
+    def commit(self) -> None:
+        """Accept the pending change set and drop its undo snapshot."""
+        self._undo = None
+        self._armed = False
+
+    # -- read API --------------------------------------------------------
+
+    def distances(self) -> np.ndarray:
+        """Combined directional distance matrix (engine-owned buffer;
+        treat as read-only, it is reused across updates)."""
+        self._sync()
+        return self._D
+
+    def mean_distance(self) -> float:
+        # np.sum(x) / x.size uses the same pairwise reduction as
+        # x.mean(), so this is bitwise-equal to the full objective's
+        # float(dist.mean()) -- just a little cheaper per move.
+        self._sync()
+        return float(np.sum(self._D) / self._D.size)
+
+    def next_hops(self) -> np.ndarray:
+        """Reconstruct the canonical next-hop table from distances.
+
+        ``floyd_warshall_batch`` initializes every finite direct edge's
+        next hop to the destination, improves only on strictly shorter
+        paths, and scans pivots in ascending order -- so on a monotone
+        row graph its table is exactly "first pivot achieving the final
+        minimum, direct edge wins ties".  Replaying that rule against
+        the maintained distances reproduces the table bit-for-bit
+        whenever the distances match the full solver (cells that cannot
+        be explained by any pivot are left at -1, which the drift
+        self-check reports as a mismatch).
+        """
+        n = self.n
+        w = weight_stack(self.placement, self.cost)
+        self._sync()
+        Dl = self._S[0]
+        Tr = self._S[1]  # Tr[j, i] = r2l distance i -> j
+        nh = np.full((n, n), -1, dtype=np.int64)
+        np.fill_diagonal(nh, np.arange(n))
+        # Left-to-right (upper triangle), columns ascending so nh[:j, k]
+        # is final when chained through.
+        for j in range(1, n):
+            col = Dl[:j, j]
+            direct = w[0, :j, j] == col
+            # cand[i, k] = D(i, k) + w(k, j): pivot k's relaxation value.
+            cand = Dl[:j, :j] + w[0, :j, j][None, :]
+            eq = (cand == col[:, None]) & self._upper[:j, :j]
+            kstar = np.argmax(eq, axis=1)
+            rows_ = np.arange(j)
+            chain = nh[rows_, kstar]
+            hit = eq[rows_, kstar]
+            nh[:j, j] = np.where(direct, j, np.where(hit, chain, -1))
+        # Right-to-left (lower triangle).  At pivot k the source-side
+        # distance is still the raw edge w(i, k), so the winning pivot
+        # *is* the next hop -- no chaining needed.
+        for i in range(1, n):
+            tgt = Tr[:i, i]
+            direct = w[1, i, :i] == tgt
+            cand = Tr[:i, :i] + w[1, i, :i][None, :]
+            eq = (cand == tgt[:, None]) & self._upper[:i, :i]
+            kstar = np.argmax(eq, axis=1)
+            rows_ = np.arange(i)
+            hit = eq[rows_, kstar]
+            nh[i, :i] = np.where(direct, rows_, np.where(hit, kstar, -1))
+        return nh
+
+    def paths(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(distances, next_hops) mirroring :func:`directional_paths`."""
+        return self.distances().copy(), self.next_hops()
+
+    # -- drift self-check ------------------------------------------------
+
+    def self_check(self) -> bool:
+        """True iff state is bit-identical to a from-scratch solve
+        (both directional layers, the combined matrix, and next-hops)."""
+        if self._undo is not None:
+            raise ConfigurationError(
+                "self_check() with a pending change set; "
+                "commit() or rollback() first"
+            )
+        dist, nh = floyd_warshall_batch(weight_stack(self.placement, self.cost))
+        if not np.array_equal(self._S[0], dist[0]):
+            return False
+        if not np.array_equal(self._S[1], dist[1].T):
+            return False
+        ref = np.where(self._upper, dist[0], dist[1])
+        np.fill_diagonal(ref, 0.0)
+        if not np.array_equal(self.distances(), ref):
+            return False
+        ref_nh = np.where(self._upper, nh[0], nh[1])
+        np.fill_diagonal(ref_nh, np.arange(self.n))
+        return np.array_equal(self.next_hops(), ref_nh)
+
+    def resync(self) -> None:
+        """Rebuild all state from scratch (drift repair)."""
+        self._armed = False
+        self._undo = None
+        self._rebuild()
+
+
+def placement_link_changes(
+    before: Iterable[Tuple[int, int]], after: Iterable[Tuple[int, int]]
+) -> List[LinkChange]:
+    """Change list turning link set ``before`` into ``after``."""
+    before = set(before)
+    after = set(after)
+    changes: List[LinkChange] = [
+        (a, b, False) for (a, b) in sorted(before - after)
+    ]
+    changes.extend((a, b, True) for (a, b) in sorted(after - before))
+    return changes

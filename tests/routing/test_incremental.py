@@ -1,0 +1,260 @@
+"""Parity suite for the dynamic directional-APSP engine.
+
+The contract is strong: after any sequence of link flips (including
+rejected + rolled-back ones) the engine's distances *and* next hops are
+bit-identical to a from-scratch :func:`directional_paths` solve, under
+both the vectorized and the pure-Python reference implementations.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.routing.incremental import (
+    IncrementalApspEngine,
+    placement_link_changes,
+)
+from repro.routing.shortest_path import HopCostModel, directional_paths
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+SIZES = (4, 6, 8, 16)
+LIMITS = (2, 3, 4, 5)
+
+
+def assert_matches_full(engine, impl="vectorized", cost=None):
+    """Engine state must be bit-identical to the from-scratch solver."""
+    dist, nh = directional_paths(engine.placement, cost, impl=impl)
+    np.testing.assert_array_equal(engine.distances(), dist)
+    np.testing.assert_array_equal(engine.next_hops(), nh)
+    assert engine.self_check()
+
+
+class TestFreshEngine:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_mesh_matches_full_solver(self, n):
+        engine = IncrementalApspEngine(RowPlacement.mesh(n))
+        assert_matches_full(engine)
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("limit", LIMITS)
+    def test_random_placement_matches_both_impls(self, n, limit):
+        rng = np.random.default_rng(7 * n + limit)
+        m = ConnectionMatrix.random(n, limit, rng=rng)
+        engine = IncrementalApspEngine(m.decode())
+        assert_matches_full(engine, impl="vectorized")
+        assert_matches_full(engine, impl="reference")
+
+    def test_mean_distance_matches_objective_mean(self):
+        rng = np.random.default_rng(3)
+        m = ConnectionMatrix.random(8, 4, rng=rng)
+        engine = IncrementalApspEngine(m.decode())
+        dist, _ = directional_paths(engine.placement)
+        assert engine.mean_distance() == float(dist.mean())
+
+
+class TestSingleEdits:
+    def test_add_then_remove_roundtrip(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(8))
+        before = engine.distances().copy()
+        engine.add_link(1, 5)
+        assert (1, 5) in engine.links
+        assert_matches_full(engine)
+        engine.remove_link(1, 5)
+        np.testing.assert_array_equal(engine.distances(), before)
+        assert_matches_full(engine)
+
+    def test_add_existing_link_rejected(self):
+        engine = IncrementalApspEngine(RowPlacement(6, frozenset({(0, 3)})))
+        with pytest.raises(ConfigurationError):
+            engine.add_link(0, 3)
+
+    def test_remove_absent_link_rejected(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        with pytest.raises(ConfigurationError):
+            engine.remove_link(0, 3)
+
+    def test_failed_validation_leaves_state_intact(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        with pytest.raises(ConfigurationError):
+            engine.apply_link_changes([(0, 2, True), (0, 3, False)])
+        assert engine.links == set()
+        assert_matches_full(engine)
+
+
+class TestCheckpointRollback:
+    def test_rollback_restores_exact_state(self):
+        rng = np.random.default_rng(11)
+        m = ConnectionMatrix.random(8, 3, rng=rng)
+        engine = IncrementalApspEngine(m.decode())
+        snapshot = engine.distances().copy()
+        links = set(engine.links)
+        engine.checkpoint()
+        engine.apply_link_changes([(0, 4, True)])
+        engine.rollback()
+        assert engine.links == links
+        np.testing.assert_array_equal(engine.distances(), snapshot)
+        assert_matches_full(engine)
+
+    def test_commit_keeps_state(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(8))
+        engine.checkpoint()
+        engine.apply_link_changes([(2, 6, True)])
+        engine.commit()
+        assert (2, 6) in engine.links
+        assert_matches_full(engine)
+
+    def test_rollback_without_checkpoint_rejected(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        with pytest.raises(ConfigurationError):
+            engine.rollback()
+
+    def test_double_pending_change_set_rejected(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        engine.checkpoint()
+        engine.apply_link_changes([(0, 2, True)])
+        with pytest.raises(ConfigurationError):
+            engine.checkpoint()
+        with pytest.raises(ConfigurationError):
+            engine.apply_link_changes([(0, 3, True)])
+        engine.rollback()
+        assert_matches_full(engine)
+
+    def test_self_check_with_pending_changes_rejected(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        engine.checkpoint()
+        engine.apply_link_changes([(0, 2, True)])
+        with pytest.raises(ConfigurationError):
+            engine.self_check()
+        engine.commit()
+        assert engine.self_check()
+
+    def test_empty_change_set_is_a_noop(self):
+        engine = IncrementalApspEngine(RowPlacement.mesh(6))
+        engine.checkpoint()
+        engine.apply_link_changes([])
+        engine.rollback()
+        assert_matches_full(engine)
+
+
+def placement_changes(counts, added, removed):
+    """Fold a layer-local diff into the multiset of links over layers,
+    emitting engine changes only when a link's count crosses 0 <-> 1
+    (the same rule the incremental annealer applies)."""
+    changes = []
+    for link in removed:
+        counts[link] -= 1
+        if counts[link] == 0:
+            changes.append((link[0], link[1], False))
+    for link in added:
+        counts[link] += 1
+        if counts[link] == 1:
+            changes.append((link[0], link[1], True))
+    return changes
+
+
+class TestRandomWalks:
+    """SA-shaped walks: propose a bit flip, accept or roll back."""
+
+    @staticmethod
+    def link_counts(m):
+        return Counter(
+            link
+            for layer in range(m.bits.shape[1])
+            for link in m.layer_links(layer)
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("limit", LIMITS)
+    def test_walk_stays_bit_identical(self, n, limit):
+        rng = np.random.default_rng(1000 * n + limit)
+        m = ConnectionMatrix.random(n, limit, rng=rng)
+        engine = IncrementalApspEngine(m.decode())
+        counts = self.link_counts(m)
+        steps = 60 if n < 16 else 30
+        for step in range(steps):
+            row, layer = m.random_move(rng)
+            added, removed = m.flip_diff(row, layer)
+            m.flip(row, layer)
+            changes = placement_changes(counts, added, removed)
+            engine.checkpoint()
+            engine.apply_link_changes(changes)
+            if rng.random() < 0.4:  # reject
+                engine.rollback()
+                m.flip(row, layer)
+                counts = self.link_counts(m)
+            else:
+                engine.commit()
+            assert engine.links == set(m.decode().express_links)
+            if step % 10 == 0:
+                assert_matches_full(engine)
+        assert_matches_full(engine)
+        assert_matches_full(engine, impl="reference")
+
+    def test_walk_with_dyadic_cost_model(self):
+        # Non-default but exactly-representable costs: bit-identity must
+        # survive arbitrary per-hop sums built from dyadic rationals.
+        cost = HopCostModel(
+            router_delay=2.5, unit_link_delay=0.25, contention_delay=0.5
+        )
+        rng = np.random.default_rng(42)
+        m = ConnectionMatrix.random(8, 4, rng=rng)
+        engine = IncrementalApspEngine(m.decode(), cost)
+        counts = self.link_counts(m)
+        for _ in range(40):
+            row, layer = m.random_move(rng)
+            added, removed = m.flip_diff(row, layer)
+            m.flip(row, layer)
+            engine.checkpoint()
+            engine.apply_link_changes(placement_changes(counts, added, removed))
+            engine.commit()
+        assert_matches_full(engine, cost=cost)
+
+
+class TestFlipDiff:
+    """``ConnectionMatrix.flip_diff`` against a set-difference oracle."""
+
+    @pytest.mark.parametrize("n", (4, 6, 8))
+    @pytest.mark.parametrize("limit", (2, 3, 5))
+    def test_diff_matches_layer_link_sets(self, n, limit):
+        rng = np.random.default_rng(n * 31 + limit)
+        m = ConnectionMatrix.random(n, limit, rng=rng)
+        for _ in range(80):
+            row, layer = m.random_move(rng)
+            before = set(m.layer_links(layer))
+            added, removed = m.flip_diff(row, layer)
+            m.flip(row, layer)
+            after = set(m.layer_links(layer))
+            assert set(added) == after - before
+            assert set(removed) == before - after
+
+
+class TestResync:
+    def test_resync_repairs_corrupted_state(self):
+        engine = IncrementalApspEngine(RowPlacement(8, frozenset({(1, 5)})))
+        engine._S[0, 0, 7] += 1.0  # simulate drift
+        assert not engine.self_check()
+        engine.resync()
+        assert engine.self_check()
+        assert_matches_full(engine)
+
+
+class TestPlacementLinkChanges:
+    def test_diff_is_deterministic_and_complete(self):
+        before = {(0, 3), (2, 5)}
+        after = {(2, 5), (1, 4), (0, 7)}
+        changes = placement_link_changes(before, after)
+        assert changes == [(0, 3, False), (0, 7, True), (1, 4, True)]
+
+    def test_applying_diff_reaches_target(self):
+        rng = np.random.default_rng(5)
+        src = ConnectionMatrix.random(8, 4, rng=rng).decode()
+        dst = ConnectionMatrix.random(8, 4, rng=rng).decode()
+        engine = IncrementalApspEngine(src)
+        engine.apply_link_changes(
+            placement_link_changes(src.express_links, dst.express_links)
+        )
+        assert engine.placement == dst
+        assert_matches_full(engine)

@@ -1,0 +1,186 @@
+"""The public facade: SearchConfig, results, and the deprecation shim."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    EvalResult,
+    PlacementResult,
+    SearchConfig,
+    evaluate_placement,
+    optimize,
+    place_express_links,
+    solve_row_problem,
+)
+from repro.api import reset_legacy_warnings
+from repro.core.annealing import AnnealingParams
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+
+SMOKE = AnnealingParams(total_moves=300, moves_per_cooldown=100)
+
+
+class TestSearchConfig:
+    def test_defaults(self):
+        cfg = SearchConfig()
+        assert cfg.seed is None
+        assert cfg.restarts == 1 and cfg.jobs == 1
+        assert cfg.impl == "vectorized"
+        assert not cfg.incremental
+        assert not cfg.parallel
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SearchConfig().seed = 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"restarts": 0},
+            {"jobs": -1},
+            {"impl": "cuda"},
+            {"resync_every": -1},
+            {"metrics_every": -5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SearchConfig(**kwargs)
+
+    def test_parallel_property(self):
+        assert SearchConfig(restarts=2).parallel
+        assert SearchConfig(jobs=2).parallel
+        assert not SearchConfig(restarts=1, jobs=1).parallel
+
+    def test_with_updates_round_trip(self):
+        cfg = SearchConfig(seed=7, restarts=3)
+        upd = cfg.with_updates(jobs=2, incremental=True)
+        assert upd.seed == 7 and upd.restarts == 3
+        assert upd.jobs == 2 and upd.incremental
+        assert cfg.jobs == 1  # original untouched
+        assert upd.with_updates(jobs=1, incremental=False) == cfg
+
+    def test_with_updates_revalidates(self):
+        with pytest.raises(ConfigurationError):
+            SearchConfig().with_updates(impl="nope")
+
+    def test_from_cli_round_trip(self):
+        ns = type("Args", (), {})()
+        ns.seed = 2019
+        ns.restarts = 4
+        ns.jobs = 2
+        ns.impl = "reference"
+        ns.incremental = True
+        ns.resync_every = 50
+        ns.trace_out = "t.jsonl"
+        ns.metrics_every = 100
+        ns.profile = True
+        cfg = SearchConfig.from_cli(ns)
+        assert cfg == SearchConfig(
+            seed=2019, restarts=4, jobs=2, impl="reference", incremental=True,
+            resync_every=50, trace_out="t.jsonl", metrics_every=100,
+            profile=True,
+        )
+
+    def test_from_cli_missing_flags_default(self):
+        ns = type("Args", (), {"seed": 5})()
+        assert SearchConfig.from_cli(ns) == SearchConfig(seed=5)
+
+
+class TestLegacyShim:
+    def setup_method(self):
+        reset_legacy_warnings()
+
+    def test_legacy_rng_warns_once_per_process(self):
+        with pytest.warns(DeprecationWarning, match="docs/api.md"):
+            a = solve_row_problem(6, 2, params=SMOKE, rng=1)
+        # Second call: shim stays silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            b = solve_row_problem(6, 2, params=SMOKE, rng=1)
+        assert a.placement == b.placement
+
+    def test_legacy_and_config_match_bit_for_bit(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = optimize(6, params=SMOKE, rng=11)
+        fresh = optimize(6, params=SMOKE, config=SearchConfig(seed=11))
+        assert legacy.best.link_limit == fresh.best.link_limit
+        for c, sol in legacy.solutions.items():
+            assert sol.placement == fresh.solutions[c].placement
+            assert sol.energy == fresh.solutions[c].energy
+
+    def test_mixing_config_and_legacy_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            solve_row_problem(
+                6, 2, params=SMOKE, config=SearchConfig(seed=1), rng=1
+            )
+
+    def test_unknown_keyword_still_a_type_error(self):
+        with pytest.raises(TypeError, match="seeed"):
+            solve_row_problem(6, 2, params=SMOKE, seeed=1)
+
+    def test_reset_makes_the_warning_fire_again(self):
+        with pytest.warns(DeprecationWarning):
+            solve_row_problem(6, 2, params=SMOKE, rng=1)
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            solve_row_problem(6, 2, params=SMOKE, rng=1)
+
+
+class TestPlaceExpressLinks:
+    def test_returns_frozen_result(self):
+        res = place_express_links(6, config=SearchConfig(seed=3), params=SMOKE)
+        assert isinstance(res, PlacementResult)
+        assert res.n == 6 and res.method == "dc_sa"
+        assert res.express_links == tuple(sorted(res.placement.express_links))
+        assert res.total_latency == pytest.approx(
+            res.head_latency + res.serialization_latency
+        )
+        assert res.evaluations > 0 and res.wall_time_s >= 0
+        assert dict(res.latency_curve)[res.link_limit] == res.total_latency
+        assert res.config == SearchConfig(seed=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            res.energy = 0.0
+
+    def test_matches_raw_optimize(self):
+        res = place_express_links(6, config=SearchConfig(seed=9), params=SMOKE)
+        sweep = optimize(6, params=SMOKE, config=SearchConfig(seed=9))
+        assert res.placement == sweep.best.placement
+        assert res.link_limit == sweep.best.link_limit
+        assert res.sweep is not None
+
+    def test_incremental_config_same_design(self):
+        base = place_express_links(6, config=SearchConfig(seed=5), params=SMOKE)
+        inc = place_express_links(
+            6, config=SearchConfig(seed=5, incremental=True), params=SMOKE
+        )
+        assert base.placement == inc.placement
+        assert base.energy == inc.energy
+
+
+class TestEvaluatePlacement:
+    def test_row_only_no_limit(self):
+        res = evaluate_placement(RowPlacement.mesh(6))
+        assert isinstance(res, EvalResult)
+        assert res.link_limit is None
+        assert res.head_latency == 2.0 * res.row_head_latency
+        assert res.serialization_latency is None
+        assert res.total_latency is None
+        assert res.flit_bits is None
+
+    def test_full_breakdown_with_limit(self):
+        placement = RowPlacement(6, frozenset({(1, 4)}))
+        res = evaluate_placement(placement, link_limit=2)
+        assert res.flit_bits is not None and res.flit_bits > 0
+        assert res.total_latency == pytest.approx(
+            res.head_latency + res.serialization_latency
+        )
+        assert res.worst_case_latency >= res.head_latency
+
+    def test_express_links_reduce_row_latency(self):
+        mesh = evaluate_placement(RowPlacement.mesh(8))
+        express = evaluate_placement(RowPlacement(8, frozenset({(1, 6)})))
+        assert express.row_head_latency < mesh.row_head_latency
