@@ -50,7 +50,15 @@ from repro.core import (
     solve_row_problem,
 )
 from repro.routing import HopCostModel, RoutingTables, compute_route, is_deadlock_free
-from repro.sim import SimConfig, Simulator
+from repro.sim import (
+    CampaignResult,
+    SimConfig,
+    SimJob,
+    Simulator,
+    TrafficSpec,
+    campaign_grid,
+    run_campaign,
+)
 from repro.topology import (
     MeshTopology,
     RowPlacement,
@@ -108,6 +116,11 @@ __all__ = [
     "is_deadlock_free",
     "SimConfig",
     "Simulator",
+    "CampaignResult",
+    "SimJob",
+    "TrafficSpec",
+    "campaign_grid",
+    "run_campaign",
     "MeshTopology",
     "RowPlacement",
     "flattened_butterfly",

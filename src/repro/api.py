@@ -36,7 +36,32 @@ __all__ = [
     "place_express_links",
     "evaluate_placement",
     "reset_legacy_warnings",
+    # Simulation campaigns (lazily re-exported from repro.sim.campaign).
+    "SimJob",
+    "TrafficSpec",
+    "CampaignResult",
+    "JobResult",
+    "run_campaign",
+    "run_until",
+    "campaign_grid",
 ]
+
+#: Campaign API names re-exported from :mod:`repro.sim.campaign`.
+#: Resolved lazily (PEP 562): the campaign engine imports the core
+#: parallel machinery, which imports this module for
+#: :class:`SearchConfig` -- a top-level import here would be a cycle.
+_CAMPAIGN_EXPORTS = frozenset({
+    "SimJob", "TrafficSpec", "CampaignResult", "JobResult",
+    "run_campaign", "run_until", "campaign_grid",
+})
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.sim import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

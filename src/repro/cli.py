@@ -5,6 +5,9 @@ Gives downstream users the paper's flow without writing Python:
 * ``optimize`` -- sweep C and print the design table for one mesh size,
 * ``solve``    -- solve a single ``P~(n, C)`` instance,
 * ``simulate`` -- run the cycle-accurate simulator on a chosen scheme,
+* ``simulate-sweep`` -- run a scheme x pattern x rate campaign grid,
+  fanned over ``--jobs`` worker processes (identical tables for every
+  jobs value at a fixed seed),
 * ``inspect``  -- show a placement's structure, matrix and audits,
 * ``experiments`` -- list the paper-figure regenerators,
 * ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``.
@@ -44,7 +47,8 @@ from repro.traffic.patterns import PATTERNS, make_pattern
 
 
 def _add_run_flags(
-    p: argparse.ArgumentParser, *, obs: bool = True, search: bool = False
+    p: argparse.ArgumentParser, *, obs: bool = True, search: bool = False,
+    sim: bool = False,
 ) -> None:
     """The one shared option group for run/search/observability flags.
 
@@ -82,6 +86,12 @@ def _add_run_flags(
             "--resync-every", type=int, default=1_000, metavar="N",
             help="incremental mode: full-FW drift self-check every N "
             "accepted moves (0 disables)",
+        )
+    if sim:
+        g.add_argument(
+            "--engine", choices=("active", "reference"), default="active",
+            help="cycle engine: active-set scheduling with idle skipping, "
+            "or the poll-everything reference (identical results)",
         )
     if obs:
         g.add_argument(
@@ -217,15 +227,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
-    if args.scheme == "mesh":
-        design = mesh_design(args.n)
-    elif args.scheme == "hfb":
-        design = hfb_design(args.n)
-    else:
-        from repro.harness.designs import dc_sa_design
-
-        design = dc_sa_design(args.n, seed=args.seed, effort=args.effort)
-
+    design = _design_for(args.scheme, args.n, args.seed, args.effort)
     cfg = SimConfig(
         flit_bits=design.point.flit_bits,
         warmup_cycles=args.warmup,
@@ -242,7 +244,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             rng=args.seed,
         )
     result = Simulator(
-        design.topology, cfg, traffic, obs=obs, metrics_every=args.metrics_every
+        design.topology, cfg, traffic, obs=obs,
+        metrics_every=args.metrics_every, engine=args.engine,
     ).run()
     s = result.summary
     print(f"{design.name} on {args.n}x{args.n}, workload={args.workload}")
@@ -251,6 +254,60 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  avg head latency:    {s.avg_head_latency:.2f} cycles")
     print(f"  avg serialization:   {s.avg_serialization_latency:.2f} cycles")
     print(f"  throughput:          {s.throughput_packets_per_cycle:.3f} packets/cycle")
+    _finish_obs(obs, args)
+    return 0
+
+
+def _design_for(scheme: str, n: int, seed: int, effort: str):
+    if scheme == "mesh":
+        return mesh_design(n)
+    if scheme == "hfb":
+        return hfb_design(n)
+    from repro.harness.designs import dc_sa_design
+
+    return dc_sa_design(n, seed=seed, effort=effort)
+
+
+def _cmd_simulate_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.campaign import campaign_grid, run_campaign
+
+    obs = _make_obs(args)
+    designs = [
+        _design_for(s.strip(), args.n, args.seed, args.effort)
+        for s in args.schemes.split(",") if s.strip()
+    ]
+    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError as exc:
+        print(f"error: bad --rates value: {exc}", file=sys.stderr)
+        return 2
+    grid = campaign_grid(
+        designs, patterns, rates, base_seed=args.seed,
+        seeds_per_point=args.seeds, warmup=args.warmup,
+        measure=args.measure, engine=args.engine,
+    )
+    campaign = run_campaign(grid, jobs=args.jobs, obs=obs)
+    rows = []
+    for job, res in zip(campaign.jobs, campaign.results):
+        scheme, pattern, rate, seed_i = job.key
+        s = res.run.summary
+        rows.append([
+            scheme, pattern, rate, seed_i, s.packets,
+            s.avg_network_latency, s.throughput_packets_per_cycle,
+            res.run.cycles_run, "yes" if res.run.drained else "NO",
+        ])
+    print(render_table(
+        f"Simulation campaign: {args.n}x{args.n}, "
+        f"{len(designs)} scheme(s) x {len(patterns)} pattern(s) x "
+        f"{len(rates)} rate(s) x {args.seeds} seed(s)",
+        ["scheme", "pattern", "rate", "seed", "packets", "latency",
+         "thr (pkt/cyc)", "cycles", "drained"],
+        rows,
+        digits=6,
+    ))
+    print(f"\n{len(grid)} runs on {args.jobs} job(s), engine={args.engine} "
+          "(results identical for every --jobs value)")
     _finish_obs(obs, args)
     return 0
 
@@ -283,14 +340,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.channel_load import channel_loads, load_balance_stats
     from repro.routing.tables import RoutingTables
 
-    if args.scheme == "mesh":
-        design = mesh_design(args.n)
-    elif args.scheme == "hfb":
-        design = hfb_design(args.n)
-    else:
-        from repro.harness.designs import dc_sa_design
-
-        design = dc_sa_design(args.n, seed=args.seed, effort=args.effort)
+    design = _design_for(args.scheme, args.n, args.seed, args.effort)
     tables = RoutingTables.build(design.topology)
     report = channel_loads(tables, flit_bits=design.point.flit_bits)
     stats = load_balance_stats(report)
@@ -374,8 +424,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=0.02, help="packets/node/cycle")
     p.add_argument("--warmup", type=int, default=500)
     p.add_argument("--measure", type=int, default=2_000)
-    _add_run_flags(p)
+    _add_run_flags(p, sim=True)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "simulate-sweep",
+        help="run a scheme x pattern x rate x seed campaign grid",
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument(
+        "--schemes", default="mesh",
+        help="comma-separated schemes (mesh, hfb, dc_sa)",
+    )
+    p.add_argument(
+        "--patterns", default="uniform_random",
+        help=f"comma-separated patterns ({', '.join(sorted(PATTERNS))})",
+    )
+    p.add_argument(
+        "--rates", default="1.0,2.0,4.0",
+        help="comma-separated aggregate rates (packets/cycle network-wide)",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=1, metavar="S",
+        help="independent traffic seeds per grid point (derived streams)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="K",
+        help="worker processes for the campaign (results are identical "
+        "for every value; default 1 = in-process)",
+    )
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--measure", type=int, default=1_000)
+    _add_run_flags(p, sim=True)
+    p.set_defaults(func=_cmd_simulate_sweep)
 
     p = sub.add_parser("inspect", help="show a placement's structure")
     p.add_argument("--n", type=int, default=8)

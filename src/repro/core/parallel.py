@@ -122,19 +122,28 @@ def _run_task(task: SearchTask) -> TaskResult:
     )
 
 
-def run_tasks(tasks: Sequence[SearchTask], jobs: int) -> List[TaskResult]:
-    """Run tasks inline (``jobs <= 1``) or on a process pool.
+def parallel_map(fn, items: Sequence, jobs: int) -> List:
+    """Order-preserving map, inline (``jobs <= 1``) or on a process pool.
 
-    ``pool.map`` returns results in task order regardless of which
+    The workhorse behind every parallel engine in the repo (the search
+    grid here, the simulation campaigns in :mod:`repro.sim.campaign`).
+    ``fn`` must be a module-level callable and every item picklable;
+    ``pool.map`` returns results in item order regardless of which
     worker finished first, so downstream reduction sees the same
     sequence either way.
     """
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task(t) for t in tasks]
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize=1)
+
+
+def run_tasks(tasks: Sequence[SearchTask], jobs: int) -> List[TaskResult]:
+    """Run search tasks inline or on a process pool, in task order."""
+    return parallel_map(_run_task, tasks, jobs)
 
 
 def best_of(results: Sequence[TaskResult]) -> TaskResult:

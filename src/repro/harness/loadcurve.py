@@ -4,19 +4,23 @@ Sweeps offered load for one design and traffic pattern, recording
 accepted throughput and average latency at each point -- the raw data
 behind Figure 8 and behind any saturation claim.  Exposed as a library
 API so users can characterize their own placements.
+
+Runs on the campaign engine (:mod:`repro.sim.campaign`): the rate
+sweep becomes a job list executed in speculative waves of ``jobs``
+simulations, with the early-stop predicate applied in rate order -- so
+``jobs=K`` returns the identical curve to the serial sweep, just
+faster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.harness.designs import SchemeDesign
 from repro.harness.tables import render_table
+from repro.sim.campaign import JobResult, SimJob, TrafficSpec, run_until
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator
-from repro.traffic.injection import SyntheticTraffic
-from repro.traffic.patterns import make_pattern
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,11 @@ class LoadCurve:
         )
 
 
+def _point_latency(res: JobResult) -> float:
+    s = res.run.summary
+    return s.avg_network_latency if s.packets else float("inf")
+
+
 def load_latency_curve(
     design: SchemeDesign,
     pattern: str = "uniform_random",
@@ -82,41 +91,60 @@ def load_latency_curve(
     measure: int = 1_000,
     stop_after_saturation: bool = True,
     latency_factor: float = 3.0,
+    jobs: int = 1,
+    engine: str = "active",
 ) -> LoadCurve:
-    """Sweep offered load (aggregate packets/cycle) for one design."""
+    """Sweep offered load (aggregate packets/cycle) for one design.
+
+    Every rate reuses the same traffic seed (paired-sample sweeps: the
+    injection *pattern* stays fixed while only the rate moves), and
+    with ``stop_after_saturation`` the sweep stops at the first
+    saturated point -- applied in rate order, so ``jobs > 1`` is a pure
+    wall-clock knob.
+    """
     n = design.point.n
     if rates is None:
         rates = [0.5 * (1.5 ** k) for k in range(10)]
-    points = []
-    zero_load = None
+    cfg = SimConfig(
+        flit_bits=design.point.flit_bits,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        max_cycles=warmup + measure + 6_000,
+        seed=seed,
+    )
+    grid: List[SimJob] = []
     for rate in rates:
-        per_node = rate / (n * n)
-        if per_node > 1.0:
+        if rate / (n * n) > 1.0:
             break
-        cfg = SimConfig(
-            flit_bits=design.point.flit_bits,
-            warmup_cycles=warmup,
-            measure_cycles=measure,
-            max_cycles=warmup + measure + 6_000,
+        grid.append(SimJob(
+            design=design,
+            traffic=TrafficSpec(kind="synthetic", pattern=pattern, rate=rate),
+            config=cfg,
             seed=seed,
+            key=(pattern, rate),
+            engine=engine,
+        ))
+
+    zero_load: List[float] = []
+
+    def stop(res: JobResult) -> bool:
+        latency = _point_latency(res)
+        if not zero_load:
+            zero_load.append(latency)
+        if not stop_after_saturation:
+            return False
+        return (not res.run.drained) or latency > latency_factor * zero_load[0]
+
+    campaign = run_until(grid, stop, jobs=jobs)
+    points = [
+        LoadPoint(
+            offered_packets_per_cycle=job.traffic.rate,
+            accepted_packets_per_cycle=res.run.summary.throughput_packets_per_cycle,
+            avg_latency=_point_latency(res),
+            drained=res.run.drained,
         )
-        traffic = SyntheticTraffic(make_pattern(pattern, n), rate=per_node, rng=seed)
-        result = Simulator(design.topology, cfg, traffic).run()
-        s = result.summary
-        latency = s.avg_network_latency if s.packets else float("inf")
-        point = LoadPoint(
-            offered_packets_per_cycle=rate,
-            accepted_packets_per_cycle=s.throughput_packets_per_cycle,
-            avg_latency=latency,
-            drained=result.drained,
-        )
-        points.append(point)
-        if zero_load is None:
-            zero_load = latency
-        if stop_after_saturation and (
-            point.saturated or latency > latency_factor * zero_load
-        ):
-            break
+        for job, res in zip(campaign.jobs, campaign.results)
+    ]
     return LoadCurve(
         scheme=design.name,
         pattern=pattern,

@@ -14,10 +14,10 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.harness.designs import SchemeDesign, reference_designs
 from repro.harness.tables import pct_change, render_table
 from repro.power.model import PowerReport, power_report
+from repro.sim.campaign import SimJob, TrafficSpec, run_campaign
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator
 from repro.sim.stats import LatencySummary
-from repro.traffic.parsec import PARSEC_NAMES, parsec_traffic
+from repro.traffic.parsec import PARSEC_NAMES
 
 
 @dataclass
@@ -126,15 +126,24 @@ def parsec_campaign(
     warmup_cycles: int = 500,
     measure_cycles: int = 2_000,
     rate_scale: float = 1.0,
+    jobs: int = 1,
+    engine: str = "active",
 ) -> CampaignResult:
-    """Run the full campaign and return all cells."""
+    """Run the full campaign and return all cells.
+
+    The (design, benchmark) grid is fully static, so it fans straight
+    out over ``jobs`` processes via the campaign engine; cells are
+    identical for every ``jobs`` value (each cell's traffic seed is
+    ``seed + benchmark_index``, a pure function of the grid
+    coordinates).
+    """
     benchmarks = tuple(benchmarks or PARSEC_NAMES)
     designs = tuple(designs or reference_designs(n, seed=seed, effort=effort))
     result = CampaignResult(
         n=n, benchmarks=benchmarks, schemes=tuple(d.name for d in designs)
     )
+    grid = []
     for design in designs:
-        topo = design.topology
         config = SimConfig(
             flit_bits=design.point.flit_bits,
             warmup_cycles=warmup_cycles,
@@ -143,15 +152,28 @@ def parsec_campaign(
             seed=seed,
         )
         for bench_i, bench in enumerate(benchmarks):
-            traffic = parsec_traffic(bench, n, rng=seed + bench_i, rate_scale=rate_scale)
-            sim = Simulator(topo, config, traffic)
-            run = sim.run()
-            result.cells[(bench, design.name)] = CampaignCell(
-                benchmark=bench,
-                scheme=design.name,
-                latency=run.summary,
-                power=power_report(topo, config, run.activity, run.cycles_run),
-                cycles=run.cycles_run,
-                drained=run.drained,
-            )
+            grid.append(SimJob(
+                design=design,
+                traffic=TrafficSpec(
+                    kind="parsec", workload=bench, rate=rate_scale
+                ),
+                config=config,
+                seed=seed + bench_i,
+                key=(bench, design.name),
+                engine=engine,
+            ))
+    campaign = run_campaign(grid, jobs=jobs)
+    for job, res in zip(campaign.jobs, campaign.results):
+        bench, scheme = job.key
+        run = res.run
+        result.cells[(bench, scheme)] = CampaignCell(
+            benchmark=bench,
+            scheme=scheme,
+            latency=run.summary,
+            power=power_report(
+                job.design.topology, job.config, run.activity, run.cycles_run
+            ),
+            cycles=run.cycles_run,
+            drained=run.drained,
+        )
     return result

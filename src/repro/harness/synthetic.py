@@ -15,14 +15,13 @@ Mesh (quadrant-seam bottleneck), D&C_SA recovering most of the gap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.designs import SchemeDesign, reference_designs
 from repro.harness.tables import pct_change, render_table
+from repro.sim.campaign import JobResult, SimJob, TrafficSpec, run_until
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator
-from repro.traffic.injection import SyntheticTraffic
-from repro.traffic.patterns import PAPER_PATTERNS, make_pattern
+from repro.traffic.patterns import PAPER_PATTERNS
 
 PATTERN_LABELS = {"uniform_random": "UR", "transpose": "TP", "bit_reverse": "BR"}
 
@@ -88,31 +87,20 @@ class Fig8Result:
         return a + "\n" + b + "\n" + " | ".join(lines)
 
 
-def _run_once(
-    design: SchemeDesign,
-    pattern_name: str,
-    n: int,
-    aggregate_rate: float,
-    seed: int,
-    warmup: int,
-    measure: int,
-) -> Tuple[float, float, bool]:
-    """One sim run; returns (avg latency, accepted packets/cycle, drained)."""
-    rate_per_node = aggregate_rate / (n * n)
-    traffic = SyntheticTraffic(
-        make_pattern(pattern_name, n), rate=min(rate_per_node, 1.0), rng=seed
-    )
-    config = SimConfig(
-        flit_bits=design.point.flit_bits,
-        warmup_cycles=warmup,
-        measure_cycles=measure,
-        max_cycles=warmup + measure + 6_000,
-        seed=seed,
-    )
-    run = Simulator(design.topology, config, traffic).run()
-    s = run.summary
-    latency = s.avg_network_latency if s.packets else float("inf")
-    return latency, s.throughput_packets_per_cycle, run.drained
+def _cell_latency(res: JobResult) -> float:
+    s = res.run.summary
+    return s.avg_network_latency if s.packets else float("inf")
+
+
+def _sweep_rates(n: int, low_rate: float, rate_step: float) -> List[float]:
+    """Geometric rate ladder, capped at 0.75 packets/node/cycle."""
+    rates = [low_rate]
+    rate = low_rate
+    while True:
+        rate *= rate_step
+        if rate / (n * n) > 0.75:
+            return rates
+        rates.append(rate)
 
 
 def fig8(
@@ -126,38 +114,76 @@ def fig8(
     rate_step: float = 1.4,
     warmup: int = 300,
     measure: int = 1_500,
+    jobs: int = 1,
+    engine: str = "active",
 ) -> Fig8Result:
     """Run the synthetic campaign.
 
     ``low_rate`` is the aggregate packets/cycle for panel (a); the
     throughput sweep starts there and multiplies by ``rate_step`` until
-    saturation.
+    saturation.  Each (design, pattern) sweep runs on the campaign
+    engine in speculative waves of ``jobs`` simulations with the
+    saturation stop applied in rate order, so ``jobs > 1`` changes wall
+    clock only, never the tables.
     """
     designs = tuple(designs or reference_designs(n, seed=seed, effort=effort))
     result = Fig8Result(
         n=n, patterns=tuple(patterns), schemes=tuple(d.name for d in designs)
     )
+    rates = _sweep_rates(n, low_rate, rate_step)
     for design in designs:
+        config = SimConfig(
+            flit_bits=design.point.flit_bits,
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            max_cycles=warmup + measure + 6_000,
+            seed=seed,
+        )
         for p in patterns:
-            base_latency, base_thr, drained = _run_once(
-                design, p, n, low_rate, seed, warmup, measure
+            grid = [
+                SimJob(
+                    design=design,
+                    traffic=TrafficSpec(
+                        kind="synthetic", pattern=p, rate=min(rate, float(n * n))
+                    ),
+                    config=config,
+                    seed=seed,
+                    key=(p, rate),
+                    engine=engine,
+                )
+                for rate in rates
+            ]
+
+            base: List[float] = []
+
+            def stop(res: JobResult) -> bool:
+                latency = _cell_latency(res)
+                if not base:
+                    # The low-load anchor point never stops the sweep;
+                    # it only sets the saturation reference.
+                    base.append(latency)
+                    return False
+                return (
+                    not res.run.drained
+                    or latency > saturation_factor * base[0]
+                )
+
+            campaign = run_until(grid, stop, jobs=jobs)
+            sweep = [
+                (job.key[1], res.run.summary.throughput_packets_per_cycle,
+                 _cell_latency(res))
+                for job, res in zip(campaign.jobs, campaign.results)
+            ]
+            first = campaign.results[0]
+            best_thr = (
+                first.run.summary.throughput_packets_per_cycle
+                if first.run.drained else 0.0
             )
-            sweep = [(low_rate, base_thr, base_latency)]
-            best_thr = base_thr if drained else 0.0
-            rate = low_rate
-            while True:
-                rate *= rate_step
-                if rate / (n * n) > 0.75:
-                    break
-                latency, thr, drained = _run_once(design, p, n, rate, seed, warmup, measure)
-                sweep.append((rate, thr, latency))
-                saturated = (not drained) or latency > saturation_factor * base_latency
+            for _, thr, _lat in sweep[1:]:
                 if thr > best_thr:
                     best_thr = thr
-                if saturated:
-                    break
             result.cells[(p, design.name)] = SyntheticCell(
-                latency=base_latency,
+                latency=base[0],
                 saturation_throughput=best_thr,
                 sweep=tuple(sweep),
             )

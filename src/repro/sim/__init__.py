@@ -9,8 +9,24 @@ from repro.sim.interface import NetworkInterface
 from repro.sim.network import Network
 from repro.sim.stats import LatencySummary, StatsCollector
 from repro.sim.engine import RunResult, Simulator
+from repro.sim.campaign import (
+    CampaignResult,
+    JobResult,
+    SimJob,
+    TrafficSpec,
+    campaign_grid,
+    run_campaign,
+    run_until,
+)
 
 __all__ = [
+    "CampaignResult",
+    "JobResult",
+    "SimJob",
+    "TrafficSpec",
+    "campaign_grid",
+    "run_campaign",
+    "run_until",
     "SimConfig",
     "Flit",
     "Packet",

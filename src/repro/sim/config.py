@@ -47,7 +47,10 @@ class SimConfig:
     warmup_cycles / measure_cycles:
         Packets created inside the measurement window are the only ones
         that contribute to statistics; the run continues (up to
-        ``max_cycles``) until all of them drain.
+        ``max_cycles``) until all of them drain.  ``max_cycles`` may cut
+        the window short (budget-capped runs); statistics then normalize
+        by the cycles actually overlapping the window, not the nominal
+        ``measure_cycles``.
     watchdog_cycles:
         Abort with :class:`SimulationError` if no flit moves for this
         many consecutive cycles while the network is non-empty -- a
@@ -82,8 +85,8 @@ class SimConfig:
             raise ConfigurationError("vc_depth_flits must be >= 2")
         if self.router_stages < 1:
             raise ConfigurationError("router_stages must be >= 1")
-        if self.warmup_cycles + self.measure_cycles > self.max_cycles:
-            raise ConfigurationError("warmup + measure must fit in max_cycles")
+        if self.max_cycles <= self.warmup_cycles:
+            raise ConfigurationError("max_cycles must exceed warmup_cycles")
         if self.routing_mode not in ("xy", "yx", "o1turn"):
             raise ConfigurationError(
                 f"routing_mode must be xy/yx/o1turn, got {self.routing_mode!r}"

@@ -11,10 +11,21 @@ Phase effects only become visible to other phases on later cycles
 (pipelines add at least one cycle), so intra-cycle phase order cannot
 create causality artifacts.
 
+Two step engines share this protocol.  ``engine="reference"`` polls
+every wire, NI and router each cycle; ``engine="active"`` (the
+default) sweeps only the network's incrementally maintained active
+sets (see :mod:`repro.sim.network`) and, when the whole fabric is
+quiescent between injections, jumps the cycle counter straight to the
+next cycle at which the traffic generator can possibly emit a packet
+(``next_packet_cycle``).  Both engines visit components in the same
+ascending order, so per-run summaries are byte-identical; the parity
+tests assert this across routing modes.
+
 The run ends when every packet created inside the measurement window
 has been ejected, or at ``max_cycles`` (whichever first); a watchdog
-aborts if the network holds flits but nothing moves -- the simulator's
-deadlock-freedom assertion.
+aborts if the network holds flits -- or NIs hold backlog that can
+never inject -- but nothing moves: the simulator's deadlock-freedom
+assertion.
 """
 
 from __future__ import annotations
@@ -55,6 +66,10 @@ class RunResult:
     packets_created: int
     packets_done: int
     activity: dict
+    #: Quiescent cycles the active engine fast-forwarded over (the
+    #: reference engine always reports 0).  ``cycles_run`` includes
+    #: them -- skipping changes wall-clock cost, never simulated time.
+    cycles_skipped: int = 0
 
 
 class Simulator:
@@ -70,10 +85,14 @@ class Simulator:
         check_invariants: bool = False,
         obs: Optional[Instrumentation] = None,
         metrics_every: int = 0,
+        engine: str = "active",
     ):
+        if engine not in ("active", "reference"):
+            raise SimulationError(f"unknown step engine {engine!r}")
         self.topology = topology
         self.config = config
         self.traffic = traffic
+        self.engine = engine
         cost = cost or HopCostModel()
         mode = config.routing_mode
         if tables is not None:
@@ -126,6 +145,12 @@ class Simulator:
 
     def step(self, cycle: int) -> int:
         """Advance one cycle; return the number of flit movements."""
+        if self.engine == "active":
+            return self._step_active(cycle)
+        return self._step_reference(cycle)
+
+    def _step_reference(self, cycle: int) -> int:
+        """Poll-everything step: visit every wire, NI and router."""
         self._inject(cycle)
         moved = self.network.deliver(cycle)
         for ni in self.network.nis:
@@ -134,27 +159,59 @@ class Simulator:
         moved += self.network.allocate(cycle)
         return moved
 
+    def _step_active(self, cycle: int) -> int:
+        """Active-set step: visit only components that can have work."""
+        self._inject(cycle)
+        net = self.network
+        moved = net.deliver_active(cycle)
+        moved += net.tick_nis_active(cycle)
+        moved += net.allocate_active(cycle)
+        return moved
+
     def run(self) -> RunResult:
         """Run to drain (or ``max_cycles``) and summarize."""
         cfg = self.config
         obs = self.obs
+        net = self.network
         window_end = cfg.warmup_cycles + cfg.measure_cycles
         heartbeat = self.metrics_every if obs.enabled else 0
+        # Idle-skipping needs exact active sets (only the active engine
+        # maintains them) and a traffic generator that can bound its
+        # next emission; periodic invariant checks and heartbeats must
+        # observe every cycle, so either disables it.
+        can_skip = (
+            self.engine == "active"
+            and not self.check_invariants
+            and heartbeat == 0
+        )
+        next_packet_cycle = getattr(self.traffic, "next_packet_cycle", None)
         idle_streak = 0
+        cycles_skipped = 0
         cycle = 0
-        for cycle in range(cfg.max_cycles):
+        next_cycle = 0
+        while next_cycle < cfg.max_cycles:
+            cycle = next_cycle
             moved = self.step(cycle)
             if self.check_invariants and cycle % 64 == 0:
                 self._verify_invariants(cycle)
-            if moved == 0 and self.network.flits_in_flight() > 0:
+            if moved == 0 and (
+                net.flits_in_flight() > 0 or net.ni_backlog() > 0
+            ):
+                # Nothing moved while work remains -- either flits are
+                # wedged in the fabric or NI backlog can never inject
+                # (e.g. a credit leak on an injection channel).  Both
+                # are deadlocks the watchdog must catch; the in-flight
+                # check alone is blind to the stuck-NI case.
                 idle_streak += 1
                 if idle_streak >= cfg.watchdog_cycles:
                     if obs.enabled:
                         obs.emit("sim.watchdog", cycle=cycle,
-                                 flits_in_flight=self.network.flits_in_flight(),
+                                 flits_in_flight=net.flits_in_flight(),
+                                 ni_backlog=net.ni_backlog(),
                                  idle_streak=idle_streak, aborted=True)
                     raise SimulationError(
-                        f"watchdog: {self.network.flits_in_flight()} flits stuck "
+                        f"watchdog: {net.flits_in_flight()} flits in flight, "
+                        f"{net.ni_backlog()} packets backlogged, stuck "
                         f"for {idle_streak} cycles at cycle {cycle}"
                     )
             else:
@@ -163,26 +220,50 @@ class Simulator:
                 self._heartbeat(cycle, moved, idle_streak)
             if cycle >= window_end and self.stats.drained:
                 break
+            next_cycle = cycle + 1
+            if (
+                can_skip
+                and moved == 0
+                and next_packet_cycle is not None
+                and net.is_idle()
+                and not net.active_nis
+            ):
+                # Fully quiescent: no flit buffered or in flight, no
+                # credit outstanding, no NI backlog.  Nothing can
+                # happen until the traffic generator next emits, so
+                # jump there.  Cap at ``window_end`` (where the drain
+                # check can break) and ``max_cycles - 1`` (so truncated
+                # runs report the same ``cycles_run`` as the reference
+                # engine, which idles through those cycles one by one).
+                nxt = next_packet_cycle(next_cycle)
+                target = window_end if nxt is None else min(nxt, window_end)
+                target = min(target, cfg.max_cycles - 1)
+                if target > next_cycle:
+                    cycles_skipped += target - next_cycle
+                    next_cycle = target
         if obs.enabled:
             cycles_run = cycle + 1
-            for entry in self.network.link_utilization(cycles_run):
+            for entry in net.link_utilization(cycles_run):
                 obs.emit("sim.link_util", cycle=cycle, **entry)
             obs.emit("sim.end", cycle=cycle, cycles_run=cycles_run,
+                     cycles_skipped=cycles_skipped,
                      drained=self.stats.drained,
                      packets_created=self.stats.created_total,
                      packets_done=self.stats.done_total)
         if not obs.is_null:
             m = obs.metrics
             m.counter("sim.cycles").inc(cycle + 1)
+            m.counter("sim.cycles_skipped").inc(cycles_skipped)
             m.counter("sim.packets_created").inc(self.stats.created_total)
             m.counter("sim.packets_done").inc(self.stats.done_total)
         return RunResult(
-            summary=self.stats.summary(),
+            summary=self.stats.summary(cycle + 1),
             cycles_run=cycle + 1,
             drained=self.stats.drained,
             packets_created=self.stats.created_total,
             packets_done=self.stats.done_total,
-            activity=self.network.activity_counters(),
+            activity=net.activity_counters(),
+            cycles_skipped=cycles_skipped,
         )
 
     def _heartbeat(self, cycle: int, moved: int, idle_streak: int) -> None:

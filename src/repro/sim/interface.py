@@ -34,6 +34,7 @@ class NetworkInterface:
         "vc_class",
         "packets_queued",
         "flits_injected",
+        "wake",
     )
 
     def __init__(
@@ -56,6 +57,9 @@ class NetworkInterface:
         self.vc_class = vc_class or {}
         self.packets_queued = 0
         self.flits_injected = 0
+        # Active-NI set (shared with the Network); enqueue adds this
+        # node so the engine's injection sweep can skip idle NIs.
+        self.wake: "set | None" = None
         router.eject_sink = self._on_eject
 
     # ------------------------------------------------------------------
@@ -63,6 +67,8 @@ class NetworkInterface:
         """Accept a freshly generated packet into the source queue."""
         self.queue.append(packet)
         self.packets_queued += 1
+        if self.wake is not None:
+            self.wake.add(self.node)
         if self.stats is not None:
             self.stats.packet_created(packet)
 

@@ -9,6 +9,12 @@ Both pipelines are modeled as deques of ``(ready_cycle, payload)``
 pairs; entries are appended in increasing ``ready_cycle`` order (one
 insertion per cycle at the upstream end), so delivery pops from the
 left only.
+
+Each pipeline optionally carries an ``on_activity`` callback, invoked
+on every :meth:`send`.  The active-set engine
+(:meth:`repro.sim.network.Network.deliver_active`) uses it to mark the
+owning wire live the instant anything enters either direction, so the
+hot delivery loop only ever visits wires that can possibly have work.
 """
 
 from __future__ import annotations
@@ -22,17 +28,20 @@ from repro.sim.flit import Flit
 class LinkPipeline:
     """A unidirectional flit pipeline of fixed latency."""
 
-    __slots__ = ("latency", "_queue")
+    __slots__ = ("latency", "_queue", "on_activity")
 
     def __init__(self, latency: int):
         if latency < 0:
             raise ValueError("link latency must be nonnegative")
         self.latency = latency
         self._queue: Deque[Tuple[int, Flit, int]] = deque()
+        self.on_activity = None
 
     def send(self, cycle: int, flit: Flit, vc: int) -> None:
         """Launch ``flit`` toward downstream VC ``vc`` at ``cycle`` (ST time)."""
         self._queue.append((cycle + 1 + self.latency, flit, vc))
+        if self.on_activity is not None:
+            self.on_activity()
 
     def deliver(self, cycle: int) -> List[Tuple[Flit, int]]:
         """Pop every flit whose traversal completes by ``cycle``."""
@@ -42,6 +51,13 @@ class LinkPipeline:
             _, flit, vc = q.popleft()
             out.append((flit, vc))
         return out
+
+    def vc_occupancy(self, num_vcs: int) -> List[int]:
+        """In-flight flit count per destination VC (conservation checks)."""
+        counts = [0] * num_vcs
+        for _, _, vc in self._queue:
+            counts[vc] += 1
+        return counts
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -55,14 +71,17 @@ class LinkPipeline:
 class CreditPipeline:
     """The reverse channel carrying per-VC credits upstream."""
 
-    __slots__ = ("latency", "_queue")
+    __slots__ = ("latency", "_queue", "on_activity")
 
     def __init__(self, latency: int):
         self.latency = latency
         self._queue: Deque[Tuple[int, int]] = deque()
+        self.on_activity = None
 
     def send(self, cycle: int, vc: int) -> None:
         self._queue.append((cycle + 1 + self.latency, vc))
+        if self.on_activity is not None:
+            self.on_activity()
 
     def deliver(self, cycle: int) -> List[int]:
         out: List[int] = []
@@ -70,6 +89,13 @@ class CreditPipeline:
         while q and q[0][0] <= cycle:
             out.append(q.popleft()[1])
         return out
+
+    def vc_counts(self, num_vcs: int) -> List[int]:
+        """Returning-credit count per VC (conservation checks)."""
+        counts = [0] * num_vcs
+        for _, vc in self._queue:
+            counts[vc] += 1
+        return counts
 
     def __len__(self) -> int:
         return len(self._queue)

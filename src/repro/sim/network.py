@@ -6,6 +6,18 @@ pipeline upstream), a zero-length injection channel per node, and the
 ejection path.  Route lookups are precomputed into flat per-router
 ``dst -> output`` dictionaries so the hot allocation loop never touches
 the table machinery.
+
+Active-set scheduling: alongside the poll-everything :meth:`deliver` /
+:meth:`allocate` reference pair, the network maintains three incremental
+active sets -- wires with a non-empty flit or credit pipeline, routers
+holding buffered flits, NIs with injection backlog.  They are updated at
+the moment state changes (pipeline ``send`` hooks, flit arrival, NI
+enqueue) and self-clean when a component drains, so the active variants
+:meth:`deliver_active` / :meth:`allocate_active` visit only components
+that can possibly have work.  Both variants iterate their sets in
+ascending index order -- the same order the reference loops visit
+components -- so every stateful effect (including the float-summation
+order of the stats) is byte-identical to the reference engine.
 """
 
 from __future__ import annotations
@@ -49,6 +61,10 @@ class Network:
         # (output_channel, downstream_router, downstream_port_key)
         self._wires: List[Tuple[OutputChannel, Router, int]] = []
         self.nis: List[NetworkInterface] = []
+        # Active sets for the incremental engine (see module docstring).
+        self.active_wires: set = set()
+        self.active_routers: set = set()
+        self.active_nis: set = set()
 
         num_vcs = config.vcs_per_port
         depth_at = [
@@ -62,7 +78,7 @@ class Network:
                 port = InputPort(num_vcs, depth_at[down])
                 self.routers[up].add_output(down, out)
                 self.routers[down].add_input(up, port, out.credit_pipe)
-                self._wires.append((out, self.routers[down], up))
+                self._register_wire(out, self.routers[down], up)
 
         for v in range(topology.num_nodes):
             router = self.routers[v]
@@ -73,10 +89,10 @@ class Network:
             inj = OutputChannel(v, 0, num_vcs, depth_at[v])
             port = InputPort(num_vcs, depth_at[v])
             router.add_input(v, port, inj.credit_pipe)
-            self._wires.append((inj, router, v))
-            self.nis.append(
-                NetworkInterface(v, router, inj, stats, vc_class=vc_class)
-            )
+            self._register_wire(inj, router, v)
+            ni = NetworkInterface(v, router, inj, stats, vc_class=vc_class)
+            ni.wake = self.active_nis
+            self.nis.append(ni)
             # Precompute route lookups, one table per dimension order.
             for order, order_tables in tables_by_order.items():
                 table = {}
@@ -84,9 +100,26 @@ class Network:
                     table[dst] = EJECT if dst == v else order_tables.next_hop(v, dst)
                 router.route_tables[order] = table
 
+    def _register_wire(self, out: OutputChannel, down_router: Router, port_key: int) -> None:
+        """Track one directed wire and hook its pipelines into the active set."""
+        index = len(self._wires)
+        self._wires.append((out, down_router, port_key))
+        active = self.active_wires
+
+        def wake(idx=index, active=active):
+            active.add(idx)
+
+        out.link.on_activity = wake
+        out.credit_pipe.on_activity = wake
+
     # ------------------------------------------------------------------
     def deliver(self, cycle: int) -> int:
-        """Move flits/credits whose pipeline latency expired; return count."""
+        """Move flits/credits whose pipeline latency expired; return count.
+
+        The poll-everything reference path: visits every wire.  Still
+        maintains the router active set so the two engine variants can
+        be mixed within one run (tests do this when flushing).
+        """
         moved = 0
         for out, down_router, port_key in self._wires:
             out.drain_credits(cycle)
@@ -97,6 +130,33 @@ class Network:
                     port.vcs[vc].push(flit, cycle)
                     down_router.buffer_writes += 1
                 moved += len(arrivals)
+                self.active_routers.add(down_router.node)
+        return moved
+
+    def deliver_active(self, cycle: int) -> int:
+        """:meth:`deliver`, visiting only wires with a non-empty pipeline.
+
+        Wires enter the set via the pipeline ``send`` hooks and leave it
+        here once both directions drained; routers receiving flits are
+        marked active for the allocation phase.  Iteration is in
+        ascending wire index -- the reference loop's order.
+        """
+        if not self.active_wires:
+            return 0
+        moved = 0
+        for idx in sorted(self.active_wires):
+            out, down_router, port_key = self._wires[idx]
+            out.drain_credits(cycle)
+            arrivals = out.link.deliver(cycle)
+            if arrivals:
+                port = down_router.in_ports[port_key]
+                for flit, vc in arrivals:
+                    port.vcs[vc].push(flit, cycle)
+                    down_router.buffer_writes += 1
+                moved += len(arrivals)
+                self.active_routers.add(down_router.node)
+            if not out.link._queue and not out.credit_pipe._queue:
+                self.active_wires.discard(idx)
         return moved
 
     def allocate(self, cycle: int) -> int:
@@ -106,6 +166,55 @@ class Network:
             if router.has_traffic():
                 moved += router.allocate(cycle)
         return moved
+
+    def allocate_active(self, cycle: int) -> int:
+        """:meth:`allocate`, visiting only routers holding buffered flits.
+
+        Routers are marked by flit arrivals (``deliver_active`` /
+        ``deliver``) and self-deactivate once their input buffers empty.
+        Ascending node order matches the reference loop, so packet
+        completions -- and therefore the stats' float-summation order --
+        are identical.
+        """
+        if not self.active_routers:
+            return 0
+        moved = 0
+        for node in sorted(self.active_routers):
+            router = self.routers[node]
+            if router.has_traffic():
+                moved += router.allocate(cycle)
+            if not router.has_traffic():
+                self.active_routers.discard(node)
+        return moved
+
+    def tick_nis_active(self, cycle: int) -> int:
+        """Advance injection for every NI with backlog; return flits.
+
+        NIs enter :attr:`active_nis` when a packet is enqueued (the
+        ``wake`` hook) and leave once their source queue and in-progress
+        packet are gone.  Ascending node order matches the reference
+        engine's NI loop.
+        """
+        if not self.active_nis:
+            return 0
+        moved = 0
+        for node in sorted(self.active_nis):
+            ni = self.nis[node]
+            moved += ni.tick(cycle)
+            if not ni.has_backlog():
+                self.active_nis.discard(node)
+        return moved
+
+    def is_idle(self) -> bool:
+        """No flit buffered, in flight, or credit outstanding anywhere.
+
+        Constant-time via the active sets: every wire with pipeline
+        content and every router with buffered flits is in its set (the
+        sets only over-approximate, and only until the next active
+        sweep).  NI backlog is tracked separately via
+        :attr:`active_nis`.
+        """
+        return not self.active_wires and not self.active_routers
 
     # ------------------------------------------------------------------
     def flits_in_flight(self) -> int:
@@ -119,17 +228,42 @@ class Network:
         return count
 
     def credit_invariant_ok(self) -> bool:
-        """Credits + occupancy + in-flight must never exceed buffer depth."""
+        """Per-VC credit conservation: the law, not just the bounds.
+
+        For every directed wire and every VC, the buffer slots of the
+        downstream VC are all accounted for at any inter-phase instant:
+
+        ``credits at the sender + flits in flight on the link + flits
+        buffered downstream + credits returning upstream == depth``
+
+        (with each term also individually within ``[0, depth]``).  The
+        earlier form of this check only verified ``0 <= credit <=
+        depth``, which a lost or duplicated credit can satisfy for a
+        long time while the worm scheduler silently degrades.
+        """
         for out, down_router, port_key in self._wires:
             port = down_router.in_ports[port_key]
+            num_vcs = len(out.credits)
+            in_flight = out.link.vc_occupancy(num_vcs)
+            returning = out.credit_pipe.vc_counts(num_vcs)
             for v, credit in enumerate(out.credits):
                 if credit < 0 or credit > port.depth:
+                    return False
+                total = credit + in_flight[v] + len(port.vcs[v]) + returning[v]
+                if total != port.depth:
                     return False
         return True
 
     def ni_backlog(self) -> int:
-        """Packets waiting in source queues across all NIs."""
-        return sum(len(ni.queue) for ni in self.nis)
+        """Packets queued or mid-injection at the NIs.
+
+        Includes the packet currently streaming flits into the network
+        (``current_flits``): a worm blocked half-injected with no credit
+        return is exactly the stall the watchdog must see.
+        """
+        return sum(
+            len(ni.queue) + (ni.current_flits is not None) for ni in self.nis
+        )
 
     def buffer_occupancies(self) -> List[int]:
         """Per-router total input-buffer occupancy (histogram samples)."""

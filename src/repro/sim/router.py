@@ -73,6 +73,7 @@ class Router:
         "vc_class",
         "credit_sinks",
         "eject_sink",
+        "eject_rr",
         "flits_routed",
         "buffer_writes",
         "buffer_reads",
@@ -98,6 +99,11 @@ class Router:
         self.credit_sinks: Dict[int, CreditPipeline] = {}
         # callback(flit, cycle) for ejected flits.
         self.eject_sink: Optional[Callable[[Flit, int], None]] = None
+        # Round-robin pointer for the ejection pseudo-output.  EJECT has
+        # no OutputChannel (hence no ``out.rr``); without its own
+        # pointer the lowest-keyed input port would win every cycle and
+        # starve the others under ejection contention.
+        self.eject_rr = 0
         # Activity counters for the power model.
         self.flits_routed = 0
         self.buffer_writes = 0
@@ -147,8 +153,9 @@ class Router:
                 continue
             out = self.outputs[out_key] if out_key != EJECT else None
             num = len(reqs)
+            rr = out.rr if out is not None else self.eject_rr
             for offset in range(num):
-                pkey, vci = reqs[(offset + (out.rr if out else 0)) % num]
+                pkey, vci = reqs[(offset + rr) % num]
                 if pkey in granted_inports:
                     continue
                 port = self.in_ports[pkey]
@@ -158,6 +165,7 @@ class Router:
                     self._grant_eject(cycle, pkey, vci, vc, flit)
                     granted_inports.add(pkey)
                     moved += 1
+                    self.eject_rr += 1
                     break
                 ovc = self._output_vc(out, vc, flit)
                 if ovc is None:

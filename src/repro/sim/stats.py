@@ -11,7 +11,7 @@ latency (head-injection to tail-ejection).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.sim.flit import Packet
 
@@ -75,7 +75,23 @@ class StatsCollector:
         return self.pending_measured == 0
 
     # ------------------------------------------------------------------
-    def summary(self) -> LatencySummary:
+    def window_cycles_run(self, cycles_run: Optional[int]) -> int:
+        """Cycles of the measurement window the run actually covered.
+
+        A run can stop at ``max_cycles`` before the window completes
+        (``max_cycles < warmup + measure``); throughput must then be
+        normalized by the window/run overlap, not the configured window
+        length, or a truncated run silently under-reports accepted
+        throughput and over-reports ``measured_cycles``.  ``None`` (no
+        run-length information) assumes the full window, preserving the
+        behavior for offline summaries built from packet lists alone.
+        """
+        if cycles_run is None:
+            return self.measure
+        return max(0, min(int(cycles_run), self.warmup + self.measure) - self.warmup)
+
+    def summary(self, cycles_run: Optional[int] = None) -> LatencySummary:
+        window = self.window_cycles_run(cycles_run)
         pkts = self.measured
         if not pkts:
             return LatencySummary(
@@ -87,10 +103,13 @@ class StatsCollector:
                 max_network_latency=0,
                 throughput_packets_per_cycle=0.0,
                 throughput_flits_per_cycle=0.0,
-                measured_cycles=self.measure,
+                measured_cycles=window,
             )
         n = len(pkts)
         net = [p.network_latency for p in pkts]
+        # A measured packet implies a window cycle ran, but guard the
+        # denominator anyway (offline collectors can mix calls).
+        denom = max(window, 1)
         return LatencySummary(
             packets=n,
             avg_network_latency=sum(net) / n,
@@ -98,7 +117,7 @@ class StatsCollector:
             avg_serialization_latency=sum(p.serialization_latency for p in pkts) / n,
             avg_total_latency=sum(p.total_latency for p in pkts) / n,
             max_network_latency=max(net),
-            throughput_packets_per_cycle=self.ejected_in_window / self.measure,
-            throughput_flits_per_cycle=self.flits_ejected_in_window / self.measure,
-            measured_cycles=self.measure,
+            throughput_packets_per_cycle=self.ejected_in_window / denom,
+            throughput_flits_per_cycle=self.flits_ejected_in_window / denom,
+            measured_cycles=window,
         )

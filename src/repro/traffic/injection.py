@@ -4,10 +4,23 @@ A generator's ``packets_for_cycle(cycle)`` yields ``(src, dst,
 size_bits)`` triples.  Injection processes are per-node Bernoulli
 (geometric inter-arrival) at a configurable packets/node/cycle rate,
 the standard open-loop model for NoC evaluation.
+
+Generators additionally implement ``next_packet_cycle(cycle)``: the
+earliest cycle ``>= cycle`` at which the generator could possibly emit
+a packet, or ``None`` if it never will again.  The active engine uses
+it to fast-forward over quiescent stretches.  The contract is
+conservative and RNG-preserving: for any cycle ``c`` with
+``next_packet_cycle(c) > c`` (or ``None``), calling
+``packets_for_cycle`` on the skipped cycles would have yielded nothing
+*and* consumed no RNG draws -- so skipping them leaves every stream
+byte-identical.  Bernoulli generators draw RNG every active cycle and
+therefore report ``cycle`` itself until ``stop_cycle``, after which
+their early-return path (which precedes any draw) makes skipping safe.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +63,13 @@ class SyntheticTraffic:
             if dst is None:
                 continue
             yield int(src), int(dst), self.sampler.sample(self.rng)
+
+    def next_packet_cycle(self, cycle: int) -> Optional[int]:
+        """Bernoulli draws every active cycle, so no skipping before
+        ``stop_cycle``; afterwards the generator is silent forever."""
+        if self.stop_cycle is not None and cycle >= self.stop_cycle:
+            return None
+        return cycle
 
 
 class MatrixTraffic:
@@ -104,6 +124,11 @@ class MatrixTraffic:
                 continue
             yield int(src), dst, self.sampler.sample(self.rng)
 
+    def next_packet_cycle(self, cycle: int) -> Optional[int]:
+        if self.stop_cycle is not None and cycle >= self.stop_cycle:
+            return None
+        return cycle
+
 
 class TraceTraffic:
     """Replay an explicit list of ``(cycle, src, dst, size_bits)`` events.
@@ -118,9 +143,15 @@ class TraceTraffic:
             self._by_cycle.setdefault(int(cycle), []).append((int(src), int(dst), int(size)))
             count += 1
         self.num_events = count
+        self._cycles = sorted(self._by_cycle)
 
     def packets_for_cycle(self, cycle: int) -> List[Injection]:
         return self._by_cycle.get(cycle, [])
+
+    def next_packet_cycle(self, cycle: int) -> Optional[int]:
+        """First trace cycle ``>= cycle`` -- traces skip maximally."""
+        i = bisect.bisect_left(self._cycles, cycle)
+        return self._cycles[i] if i < len(self._cycles) else None
 
 
 class CombinedTraffic:
@@ -132,3 +163,21 @@ class CombinedTraffic:
     def packets_for_cycle(self, cycle: int) -> Iterator[Injection]:
         for gen in self.generators:
             yield from gen.packets_for_cycle(cycle)
+
+    def next_packet_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest next cycle across members (None only if all done).
+
+        Members without ``next_packet_cycle`` are assumed live every
+        cycle -- the conservative answer.
+        """
+        best: Optional[int] = None
+        for gen in self.generators:
+            probe = getattr(gen, "next_packet_cycle", None)
+            if probe is None:
+                return cycle
+            nxt = probe(cycle)
+            if nxt is None:
+                continue
+            if best is None or nxt < best:
+                best = nxt
+        return best

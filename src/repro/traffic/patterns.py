@@ -152,9 +152,14 @@ class Hotspot(Pattern):
 
     def __call__(self, src: int, rng) -> Optional[int]:
         if rng.random() < self.fraction:
-            dst = self.hotspots[int(rng.integers(len(self.hotspots)))]
-            if dst != src:
-                return dst
+            # A hotspot node cannot send to itself; redraw among the
+            # *other* hotspots so hotspot sources still emit their full
+            # hotspot fraction.  (Falling back to uniform here -- the
+            # old behavior -- silently diluted the fraction whenever a
+            # hotspot node was itself a source.)
+            choices = [h for h in self.hotspots if h != src]
+            if choices:
+                return choices[int(rng.integers(len(choices)))]
         return self._uniform(src, rng)
 
 

@@ -12,7 +12,8 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("optimize", "solve", "simulate", "inspect", "experiments"):
+        for cmd in ("optimize", "solve", "simulate", "simulate-sweep", "inspect",
+                    "experiments"):
             args = parser.parse_args(
                 [cmd] if cmd == "experiments" else [cmd, "--seed", "1"]
             )
@@ -74,6 +75,47 @@ class TestCommands:
         from repro.io import load_sweep
 
         assert load_sweep(path).n == 4
+
+    def test_simulate_sweep_jobs_invariance(self, capsys):
+        argv = [
+            "simulate-sweep",
+            "--n", "4",
+            "--schemes", "mesh",
+            "--patterns", "uniform_random,transpose",
+            "--rates", "1.0,2.0",
+            "--warmup", "100",
+            "--measure", "300",
+        ]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def table(text):
+            return [ln for ln in text.splitlines() if "job(s)" not in ln]
+
+        # The rendered table (everything but the jobs-count footer) is
+        # byte-identical at every --jobs value.
+        assert table(serial) == table(parallel)
+        assert "Mesh" in serial and "transpose" in serial
+
+    def test_simulate_sweep_reference_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate-sweep",
+                    "--n", "4",
+                    "--schemes", "mesh",
+                    "--patterns", "uniform_random",
+                    "--rates", "1.0",
+                    "--warmup", "100",
+                    "--measure", "300",
+                    "--engine", "reference",
+                ]
+            )
+            == 0
+        )
+        assert "engine=reference" in capsys.readouterr().out
 
     def test_simulate_parsec_workload(self, capsys):
         assert (

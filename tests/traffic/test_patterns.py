@@ -90,6 +90,18 @@ class TestStochasticPatterns:
         # ~50% + uniform share; comfortably above uniform's ~6.7%.
         assert hits > 700
 
+    def test_hotspot_source_keeps_full_fraction(self, rng):
+        # Regression: a hotspot node sending traffic must still emit the
+        # configured hotspot fraction.  The old code fell back to
+        # uniform whenever the hotspot draw landed on the source itself,
+        # diluting P(dst == other hotspot) from ~0.53 to ~0.30 here.
+        hs = make_pattern("hotspot", 4, hotspots=(0, 1), fraction=0.5)
+        draws = [hs(0, rng) for _ in range(4_000)]
+        assert all(d != 0 for d in draws)  # never self
+        frac = draws.count(1) / len(draws)
+        # Expected 0.5 (redrawn hotspot) + 0.5/15 (uniform share) ~ 0.53.
+        assert frac > 0.45
+
     def test_hotspot_validation(self):
         with pytest.raises(ConfigurationError):
             make_pattern("hotspot", 4, fraction=1.5)
