@@ -4,11 +4,14 @@ The paper's instances P(4,2), P(8,2), P(8,3), P(8,4), P(16,2).  Times
 the exhaustive search on the smallest instance as the kernel.
 """
 
+import time
+
 import pytest
 
 from repro.core.branch_bound import exhaustive_matrix_search
 from repro.core.latency import RowObjective
 from repro.harness.optimal import PAPER_INSTANCES, fig12
+from repro.harness.tables import render_table
 
 from benchmarks.conftest import SEED, publish, sa_effort
 
@@ -20,7 +23,20 @@ def result():
 
 
 def test_fig12_vs_optimal(benchmark, result, capsys):
-    publish(capsys, "fig12", result.render())
+    record = {
+        "instances": [
+            {
+                "n": c.n,
+                "C": c.link_limit,
+                "optimal_energy": c.optimal_energy,
+                "dc_sa_energy": c.dc_sa_energy,
+                "gap_percent": c.gap_percent,
+                "runtime_ratio": c.runtime_ratio,
+            }
+            for c in result.comparisons
+        ],
+    }
+    publish(capsys, "fig12", result.render(), record=record)
 
     for c in result.comparisons:
         # Never below the optimum; paper's worst gap is 1.3% (P(8,4)).
@@ -49,3 +65,64 @@ def test_fig12_vs_optimal(benchmark, result, capsys):
         rounds=3,
         iterations=1,
     )
+
+
+def test_fig12_batched_exhaustive(capsys):
+    """Population-batched exhaustive search: byte-identical optimum,
+    >= 3x evaluation throughput at the paper's largest exact instance.
+
+    The scalar baseline (``batch_size=1``) and the batched path share
+    everything but the kernel launch granularity, so the placement,
+    energy, evaluation count and state count must match exactly; the
+    speedup gate runs on best-of-rounds wall times to shed timing
+    noise.  Quick effort checks parity only (P(8,3) is too fast to
+    time reliably).
+    """
+    paper = sa_effort() == "paper"
+    n, c = (16, 2) if paper else (8, 3)
+    rounds = 3 if paper else 1
+
+    best_scalar = best_batched = float("inf")
+    scalar = batched = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        scalar = exhaustive_matrix_search(n, c, RowObjective(), batch_size=1)
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched = exhaustive_matrix_search(n, c, RowObjective())
+        best_batched = min(best_batched, time.perf_counter() - t0)
+
+    assert batched.placement == scalar.placement
+    assert batched.energy == scalar.energy
+    assert batched.evaluations == scalar.evaluations
+    assert batched.states_visited == scalar.states_visited
+
+    speedup = best_scalar / best_batched
+    evals_per_sec = batched.evaluations / best_batched
+    rows = [
+        ["scalar", f"{best_scalar:.3f}", f"{scalar.evaluations / best_scalar:,.0f}"],
+        ["batched", f"{best_batched:.3f}", f"{evals_per_sec:,.0f}"],
+        ["speedup", f"{speedup:.2f}x", ""],
+    ]
+    publish(
+        capsys,
+        "fig12_batched",
+        render_table(
+            f"Exhaustive search P({n},{c}), batched vs scalar "
+            f"({batched.evaluations} evaluations, best of {rounds})",
+            ["kernel", "wall s", "evals/sec"],
+            rows,
+        ),
+        record={
+            "n": n,
+            "C": c,
+            "evaluations": batched.evaluations,
+            "scalar_wall_s": best_scalar,
+            "batched_wall_s": best_batched,
+            "speedup": speedup,
+        },
+    )
+    if paper:
+        assert speedup >= 3.0, (
+            f"batched exhaustive search only {speedup:.2f}x faster"
+        )

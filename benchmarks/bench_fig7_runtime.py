@@ -157,3 +157,68 @@ def test_fig7_incremental_sweep_speedup(capsys):
         assert speedup >= 1.5, (
             f"incremental sweep only {speedup:.2f}x faster end-to-end"
         )
+
+
+def test_fig7_batched_divide_conquer(capsys):
+    """Population-batched Procedure I(n, C): byte-identical seed
+    placement, >= 3x throughput at the paper's n=16 bridging step.
+
+    The combine step prices the base and all O(n^2) bridging
+    candidates in one Floyd-Warshall stack; the scalar baseline
+    (``batch_size=1``) prices them one by one.  Equal placement,
+    energy and evaluation count make the speedup purely a kernel-launch
+    economy.  Quick effort checks parity only.
+    """
+    paper = sa_effort() == "paper"
+    n, c = (16, 4) if paper else (8, 4)
+    rounds = 5 if paper else 1
+    # One I(16,4) run is a few ms -- time a burst per round so the
+    # comparison sits well above timer granularity, and alternate the
+    # modes (paired rounds) to cancel slow machine drift.
+    reps = 10 if paper else 1
+
+    best_scalar = best_batched = float("inf")
+    scalar = batched = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            scalar = initial_solution(n, c, RowObjective(), batch_size=1)
+        best_scalar = min(best_scalar, (time.perf_counter() - t0) / reps)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            batched = initial_solution(n, c, RowObjective())
+        best_batched = min(best_batched, (time.perf_counter() - t0) / reps)
+
+    assert batched.placement == scalar.placement
+    assert batched.energy == scalar.energy
+    assert batched.evaluations == scalar.evaluations
+
+    speedup = best_scalar / best_batched
+    publish(
+        capsys,
+        "fig7_batched_dc",
+        "\n".join(
+            [
+                f"Procedure I({n},{c}), batched vs scalar combine "
+                f"({batched.evaluations} evaluations, best of {rounds})",
+                f"  scalar  (batch_size=1): {best_scalar:8.3f} s "
+                f"({scalar.evaluations / best_scalar:,.0f} evals/sec)",
+                f"  batched (default):      {best_batched:8.3f} s "
+                f"({batched.evaluations / best_batched:,.0f} evals/sec)",
+                f"  speedup:                {speedup:8.2f}x",
+                "  seed placements byte-identical: yes",
+            ]
+        ),
+        record={
+            "n": n,
+            "C": c,
+            "evaluations": batched.evaluations,
+            "scalar_wall_s": best_scalar,
+            "batched_wall_s": best_batched,
+            "speedup": speedup,
+        },
+    )
+    if paper:
+        assert speedup >= 3.0, (
+            f"batched divide-and-conquer only {speedup:.2f}x faster"
+        )

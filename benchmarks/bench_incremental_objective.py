@@ -117,6 +117,14 @@ def test_incremental_speedup(paired_timing, capsys):
             ["mode", "moves/sec", "us/move"],
             rows,
         ),
+        record={
+            "n": N,
+            "C": LIMIT,
+            "moves": MOVES,
+            "full_wall_s": best_full,
+            "incremental_wall_s": best_incr,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 3.0, (
         f"incremental pricing only {speedup:.2f}x faster than full FW"
@@ -139,3 +147,59 @@ def test_speedup_grows_with_n(capsys):
             )
         ratios[n] = best_full / best_incr
     assert ratios[16] > ratios[8]
+
+
+def test_population_batched_pricing(capsys):
+    """Batched ``evaluate_many`` vs a scalar pricing loop on one
+    recorded population: byte-identical energies, and the measured
+    throughput gain of replacing B kernel launches with one
+    ``(2B, n, n)`` stack."""
+    objective_scalar = RowObjective()
+    objective_batched = RowObjective()
+    rng = np.random.default_rng(SEED)
+    population = [
+        ConnectionMatrix.random(N, LIMIT, rng=rng).decode() for _ in range(MOVES)
+    ]
+
+    best_scalar = best_batched = float("inf")
+    scalar_energies = batched_energies = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        scalar_energies = [objective_scalar(p) for p in population]
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched_energies = [
+            float(v) for v in objective_batched.evaluate_many(population)
+        ]
+        best_batched = min(best_batched, time.perf_counter() - t0)
+
+    assert batched_energies == scalar_energies
+
+    speedup = best_scalar / best_batched
+    rows = [
+        ["scalar loop", f"{MOVES / best_scalar:,.0f}", f"{1e6 * best_scalar / MOVES:.1f}"],
+        ["evaluate_many", f"{MOVES / best_batched:,.0f}", f"{1e6 * best_batched / MOVES:.1f}"],
+        ["speedup", f"{speedup:.2f}x", ""],
+    ]
+    publish(
+        capsys,
+        "bench_population_pricing",
+        render_table(
+            f"Population pricing, n={N}, C={LIMIT} "
+            f"({MOVES} placements, best of {ROUNDS} paired rounds)",
+            ["mode", "placements/sec", "us/placement"],
+            rows,
+        ),
+        record={
+            "n": N,
+            "C": LIMIT,
+            "population": MOVES,
+            "scalar_wall_s": best_scalar,
+            "batched_wall_s": best_batched,
+            "speedup": speedup,
+        },
+    )
+    # The gate lives on the exhaustive / D&C benches (fig12 / fig7);
+    # here raw pricing has no enumeration overhead to amortize, so any
+    # regression below parity is the red flag.
+    assert speedup >= 1.0, f"batched pricing slower than scalar ({speedup:.2f}x)"

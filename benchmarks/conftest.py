@@ -12,7 +12,10 @@ Scale knob: set ``REPRO_BENCH_EFFORT=quick`` for a fast smoke pass
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -30,10 +33,44 @@ def sa_effort() -> str:
     return "paper" if EFFORT == "paper" else "quick"
 
 
-def publish(capsys, name: str, text: str) -> None:
-    """Write a rendered experiment table to terminal and results file."""
+def git_sha() -> str:
+    """Short commit hash of the benchmarked tree ("unknown" off-repo)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def publish(capsys, name: str, text: str, record: dict | None = None) -> None:
+    """Write a rendered experiment table to terminal and results files.
+
+    Alongside the human-readable ``<name>.txt``, a machine-readable
+    ``<name>.json`` is written carrying the run's provenance (effort
+    knob, git sha, timestamp) plus whatever structured ``record`` the
+    bench supplies -- typically the n/C grid, wall times and speedups
+    -- so sweeps across commits can be diffed without re-parsing
+    tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "effort": EFFORT,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if record:
+        payload.update(record)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     with capsys.disabled():
         print()
         print(text)

@@ -82,6 +82,18 @@ class SearchConfig:
         Independent SA chains per ``C``; the best chain wins.
     jobs:
         Worker processes; results are bit-identical for every value.
+    chains:
+        Lockstep group size for the SA restarts: each group of up to
+        ``chains`` restarts runs inside one process as a population,
+        pricing every move of all live chains with a single batched
+        Floyd-Warshall call (:func:`repro.core.annealing.anneal_population`).
+        Trajectories are byte-identical to the same restarts run
+        serially, so ``chains`` is -- like ``jobs`` -- a pure
+        wall-clock knob, and the two compose: groups are still fanned
+        out across ``jobs`` processes.  ``chains > 1`` implies at
+        least that many restarts (see :attr:`effective_restarts`) and
+        is incompatible with ``incremental`` (the O(n^2) engine prices
+        moves one chain at a time by construction).
     impl:
         Floyd-Warshall implementation (``"vectorized"`` or the
         pure-Python ``"reference"`` oracle).
@@ -105,6 +117,7 @@ class SearchConfig:
     seed: Optional[int] = None
     restarts: int = 1
     jobs: int = 1
+    chains: int = 1
     impl: str = "vectorized"
     incremental: bool = False
     resync_every: int = 1_000
@@ -118,6 +131,15 @@ class SearchConfig:
             raise ConfigurationError(f"restarts must be >= 1, got {self.restarts}")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chains < 1:
+            raise ConfigurationError(f"chains must be >= 1, got {self.chains}")
+        if self.chains > 1 and self.incremental:
+            raise ConfigurationError(
+                "chains > 1 is incompatible with incremental=True: the "
+                "lockstep population path prices all chains with one "
+                "batched Floyd-Warshall call, while the incremental "
+                "engine prices moves one chain at a time"
+            )
         if self.impl not in IMPLEMENTATIONS:
             raise ConfigurationError(
                 f"unknown impl {self.impl!r}; expected one of {IMPLEMENTATIONS}"
@@ -134,7 +156,18 @@ class SearchConfig:
     @property
     def parallel(self) -> bool:
         """True when the multi-restart engine should run the search."""
-        return self.restarts > 1 or self.jobs > 1
+        return self.restarts > 1 or self.jobs > 1 or self.chains > 1
+
+    @property
+    def effective_restarts(self) -> int:
+        """The restart count the engine actually runs.
+
+        ``chains=K`` alone means "run K lockstep chains", so the
+        restart count is raised to at least ``chains``; an explicit
+        larger ``restarts`` is split into consecutive groups of
+        ``chains``.
+        """
+        return max(self.restarts, self.chains)
 
     @classmethod
     def from_cli(cls, args: Any) -> "SearchConfig":
@@ -144,6 +177,7 @@ class SearchConfig:
             seed=getattr(args, "seed", defaults.seed),
             restarts=getattr(args, "restarts", defaults.restarts),
             jobs=getattr(args, "jobs", defaults.jobs),
+            chains=getattr(args, "chains", defaults.chains),
             impl=getattr(args, "impl", defaults.impl),
             incremental=getattr(args, "incremental", defaults.incremental),
             resync_every=getattr(args, "resync_every", defaults.resync_every),

@@ -14,8 +14,11 @@ Gives downstream users the paper's flow without writing Python:
 
 Parallel search flags (``optimize`` / ``solve``): ``--restarts N`` runs
 ``N`` independent SA chains per ``C`` from derived seeds and keeps the
-best; ``--jobs K`` fans the chains out over ``K`` worker processes.
-Results are bit-identical for every ``--jobs`` value at a fixed seed.
+best; ``--jobs K`` fans the chains out over ``K`` worker processes;
+``--chains K`` packs consecutive restarts into lockstep population
+groups priced by one batched Floyd-Warshall call per move.  Results
+are bit-identical for every ``--jobs`` / ``--chains`` value at a
+fixed seed.
 
 Observability flags (``optimize`` / ``solve`` / ``simulate``):
 ``--trace-out PATH`` streams structured events as JSON Lines,
@@ -72,6 +75,12 @@ def _add_run_flags(
         g.add_argument(
             "--restarts", type=int, default=1, metavar="N",
             help="independent SA chains per C (derived seeds; best chain wins)",
+        )
+        g.add_argument(
+            "--chains", type=int, default=1, metavar="K",
+            help="lockstep population size: pack consecutive restarts into "
+            "groups of K priced by one batched objective call per move "
+            "(results identical to --restarts; composes with --jobs)",
         )
         g.add_argument(
             "--impl", choices=IMPLEMENTATIONS, default="vectorized",
@@ -197,8 +206,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             method=args.method,
             params=EFFORTS[args.effort],
             base_seed=cfg.seed,
-            restarts=cfg.restarts,
+            restarts=cfg.effective_restarts,
             jobs=cfg.jobs,
+            chains=cfg.chains,
             impl=cfg.impl,
             incremental=cfg.incremental,
             resync_every=cfg.resync_every,
@@ -220,7 +230,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
     if energies is not None:
         print(f"  restarts: {[round(e, 4) for e in energies]} "
-              f"({args.restarts} chains on {args.jobs} job(s))")
+              f"({cfg.effective_restarts} chains on {args.jobs} job(s))")
     _finish_obs(obs, args)
     return 0
 

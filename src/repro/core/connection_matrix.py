@@ -125,17 +125,18 @@ class ConnectionMatrix:
     def decode(self) -> RowPlacement:
         """Decode the matrix into its :class:`RowPlacement`."""
         links: set = set()
-        rows, layers = self.bits.shape
-        for layer in range(layers):
+        n = self.n
+        # One bulk conversion to Python bools: per-element numpy
+        # indexing dominates the exact searches' enumeration loop.
+        for column in self.bits.T.tolist():
             start = 0
-            for r in range(1, self.n):
-                interior = 1 <= r <= self.n - 2
-                connected = interior and self.bits[r - 1, layer]
-                if not connected:
+            for r in range(1, n):
+                # Interior routers are 1 .. n-2; column[r-1] covers them.
+                if not (r <= n - 2 and column[r - 1]):
                     if r - start >= 2:
                         links.add((start, r))
                     start = r
-        return RowPlacement(self.n, frozenset(links))
+        return RowPlacement(n, frozenset(links))
 
     def layer_links(self, layer: int) -> Tuple[Link, ...]:
         """The express links contributed by one layer (for display)."""
@@ -235,3 +236,75 @@ def enumerate_matrices(n: int, link_limit: int) -> Iterator[ConnectionMatrix]:
             [(code >> k) & 1 for k in range(size)], dtype=bool
         ).reshape(shape)
         yield ConnectionMatrix(n, link_limit, bits)
+
+
+def iter_unique_placements(
+    n: int,
+    link_limit: int,
+    block_size: int = 1 << 16,
+) -> Iterator[RowPlacement]:
+    """Mirror-folded unique placements of the matrix space, in code order.
+
+    The bulk equivalent of ``decode()`` + mirror-fold dedup over
+    :func:`enumerate_matrices`: codes are unpacked into bit blocks and
+    each layer's fused runs are extracted with vectorized boundary
+    detection (a run of 1-bits over interior routers ``a .. b`` is the
+    express link ``(a, b + 2)``), so the per-matrix Python work drops
+    to the dedup dictionary probe.  Folding uses the same
+    lexicographic-minimum rule as
+    :meth:`repro.topology.row.RowPlacement.mirror_min_links`, so the
+    first matrix of each equivalence class (in enumeration order)
+    supplies the representative -- exactly the placements the scalar
+    ``decode()`` loop would have kept.  Blocks bound peak memory for
+    the largest admissible spaces.
+    """
+    shape = ConnectionMatrix.shape(n, link_limit)
+    size = shape[0] * shape[1]
+    if size > 24:
+        raise ConfigurationError(
+            f"refusing to enumerate 2^{size} matrices; use the heuristics"
+        )
+    rows, layers = shape
+    shifts = np.arange(size, dtype=np.int64)
+    last = n - 1
+    seen = set()
+    for lo in range(0, 1 << size, block_size):
+        codes = np.arange(lo, min(lo + block_size, 1 << size), dtype=np.int64)
+        count = len(codes)
+        bits = ((codes[:, None] >> shifts) & 1).astype(bool).reshape(
+            count, rows, layers
+        )
+        # Encoded links per matrix; (i, j) packs to i * n + j, which
+        # preserves lexicographic pair order for the mirror fold below.
+        links_of: list = [[] for _ in range(count)]
+        padded = np.zeros((count, rows + 2), dtype=bool)
+        for layer in range(layers):
+            padded[:, 1:-1] = bits[:, :, layer]
+            edges = padded[:, 1:].view(np.int8) - padded[:, :-1].view(np.int8)
+            # A run starting at bit a and ending at bit b decodes to the
+            # link (a, b + 2); starts and ends pair up in row-major order.
+            rows_idx, start_bits = np.nonzero(edges == 1)
+            end_bits = np.nonzero(edges == -1)[1]
+            enc = start_bits * n + (end_bits + 1)
+            for row, link in zip(rows_idx.tolist(), enc.tolist()):
+                links_of[row].append(link)
+        for links in links_of:
+            if links:
+                # A single layer yields links already sorted (runs are
+                # extracted left to right) and duplicate-free; only
+                # multi-layer matrices can repeat a link across layers.
+                fwd = tuple(links) if layers == 1 else tuple(sorted(set(links)))
+                rev = tuple(
+                    sorted((last - e % n) * n + (last - e // n) for e in fwd)
+                )
+                key = min(fwd, rev)
+            else:
+                key = ()
+            if key in seen:
+                continue
+            seen.add(key)
+            # Decoded runs are normalized by construction (i < j,
+            # j - i >= 2), so validation can be skipped.
+            yield RowPlacement.from_normalized(
+                n, frozenset((e // n, e % n) for e in links)
+            )

@@ -28,7 +28,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.annealing import MemoizedObjective, Objective
-from repro.core.branch_bound import effective_link_limit, exhaustive_matrix_search
+from repro.core.branch_bound import (
+    DEFAULT_BATCH_SIZE,
+    effective_link_limit,
+    exhaustive_matrix_search,
+)
 from repro.obs.instrument import Instrumentation, ensure_obs
 from repro.topology.row import RowPlacement
 
@@ -65,12 +69,18 @@ def initial_solution(
     objective: Objective,
     base_size: int = 4,
     obs: Optional[Instrumentation] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> InitialSolution:
     """Run Procedure ``I(n, C)`` and return the seed placement.
 
     With ``obs`` attached, each recursion node is timed under the
     ``dc.solve`` span and emits a ``dc.node`` event carrying its slice
     and depth; depths also feed a ``dc.depth`` histogram.
+
+    ``batch_size`` controls population batching in the base-case
+    enumeration and the combine step (all ``O(n^2)`` bridging
+    candidates priced by one Floyd-Warshall stack); ``batch_size=1``
+    forces the scalar kernels.  Results are bit-identical either way.
     """
     start = time.perf_counter()
     obs = ensure_obs(obs)
@@ -78,7 +88,7 @@ def initial_solution(
     with obs.span("dc.initial_solution"):
         placement = _solve(
             0, n, effective_link_limit(n, link_limit), objective, base_size,
-            counter, obs, depth=0,
+            counter, obs, depth=0, batch_size=batch_size,
         )
         limit = effective_link_limit(n, link_limit)
         placement.validate(limit)
@@ -105,6 +115,7 @@ def _solve(
     counter: dict,
     obs: Instrumentation,
     depth: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> RowPlacement:
     """Solve the slice ``[lo, hi)`` of the full row; 0-indexed result."""
     n = hi - lo
@@ -122,13 +133,15 @@ def _solve(
         if n <= base_size:
             # Base case: exact enumeration (branch and bound per the paper).
             with obs.span("dc.base_case"):
-                return exhaustive_matrix_search(n, link_limit, memo).placement
+                return exhaustive_matrix_search(
+                    n, link_limit, memo, batch_size=batch_size
+                ).placement
 
         left_n = (n + 1) // 2
         left = _solve(lo, lo + left_n, link_limit - 1, objective,
-                      base_size, counter, obs, depth + 1)
+                      base_size, counter, obs, depth + 1, batch_size)
         right = _solve(lo + left_n, hi, link_limit - 1, objective,
-                       base_size, counter, obs, depth + 1)
+                       base_size, counter, obs, depth + 1, batch_size)
         base = RowPlacement(
             n,
             left.shifted(0, n).express_links
@@ -137,18 +150,47 @@ def _solve(
 
         with obs.span("dc.combine"):
             best = base  # the bridging local link (left_n - 1, left_n) always exists
-            best_energy = memo(base)
+            candidates = []
+            # Adding (i, j) raises cross-sections i .. j-1 by one, so
+            # feasibility is arithmetic on the base's counts -- no
+            # per-candidate placement rebuild.  (Both halves were
+            # solved with limit - 1, so every candidate passes; the
+            # check guards the invariant, not the common case.)
+            counts = base.cross_section_counts()
+            tight = [k for k, c in enumerate(counts) if c + 1 > link_limit]
             for i in range(left_n):
                 for j in range(left_n, n):
                     if j - i < 2:
                         continue  # adjacent pair: the local link already bridges
-                    candidate = base.with_link(i, j)
-                    if not candidate.satisfies_limit(link_limit):
+                    if tight and any(i <= k < j for k in tight):
                         continue
-                    energy = memo(candidate)
-                    if energy < best_energy:
-                        best_energy = energy
-                        best = candidate
+                    # (i, j) is normalized by the loop structure and the
+                    # base's links are already validated.
+                    candidates.append(
+                        RowPlacement.from_normalized(
+                            n, base.express_links | {(i, j)}
+                        )
+                    )
+            # The base and all O(n^2) bridging candidates share one
+            # Floyd-Warshall stack; pricing the base as element 0 and
+            # scanning candidates in the original (i, j) order with
+            # strict < keeps both the memo's call sequence and the
+            # winner identical to the scalar loop.  The batch members
+            # differ pairwise by their bridging link, so the
+            # objective-level mirror-fold pass is skipped
+            # (``folded=True``) -- it could only map a placement to a
+            # sibling with the identical energy.
+            if batch_size > 1 and candidates:
+                batch = memo.evaluate_many([base] + candidates, folded=True)
+                best_energy = float(batch[0])
+                energies = batch[1:]
+            else:
+                best_energy = memo(base)
+                energies = [memo(candidate) for candidate in candidates]
+            for candidate, energy in zip(candidates, energies):
+                if energy < best_energy:
+                    best_energy = float(energy)
+                    best = candidate
         return best
     finally:
         counter["evaluations"] += memo.evaluations

@@ -32,7 +32,11 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.routing.shortest_path import HopCostModel, directional_distances
+from repro.routing.shortest_path import (
+    HopCostModel,
+    batched_mean_distances,
+    directional_distances,
+)
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
 
@@ -268,6 +272,63 @@ class RowObjective:
             # so searches on it remain well defined.
             w = None
         return mean_row_head_latency(placement, self.cost, w, impl=self.impl)
+
+    def evaluate_many(self, placements, folded: bool = False) -> np.ndarray:
+        """Price a whole population in one batched Floyd-Warshall pass.
+
+        Returns ``energies`` with ``energies[i] == self(placements[i])``
+        bit for bit.  Duplicate placements (by ``canonical_bytes``) are
+        priced once; when the objective is mirror-invariant
+        (unweighted) *and* the hop-cost parameters are integral -- so
+        distances are exact integers and the reversed relaxation order
+        cannot shift a single bit -- a placement and its mirror image
+        also share one kernel slice (mirror-fold dedup).
+        ``folded=True`` asserts the batch already consists of
+        pairwise-distinct mirror-fold representatives (the exact
+        enumerators guarantee this) and skips the dedup pass -- the
+        fold would map every placement to itself, so the energies are
+        unchanged.  Under ``impl="reference"`` the population is priced
+        by the pure-Python oracle one placement at a time, preserving
+        the oracle contract at scalar speed.
+        """
+        placements = list(placements)
+        if not placements:
+            return np.empty(0, dtype=float)
+        if self.obs is None:
+            return self._evaluate_many(placements, folded)
+        with self.obs.span("latency.floyd_warshall"):
+            return self._evaluate_many(placements, folded)
+
+    def _mirror_fold_safe(self) -> bool:
+        c = self.cost
+        return (
+            float(c.router_delay).is_integer()
+            and float(c.unit_link_delay).is_integer()
+            and float(c.contention_delay).is_integer()
+        )
+
+    def _evaluate_many(self, placements, folded: bool = False) -> np.ndarray:
+        if self.impl == "reference":
+            return np.asarray([self._evaluate(p) for p in placements], dtype=float)
+        w = None if self.weights is None else np.asarray(self.weights, dtype=float)
+        if w is not None and w.sum() <= 0:
+            w = None
+        if folded:
+            return batched_mean_distances(placements, self.cost, w)
+        fold = w is None and self._mirror_fold_safe()
+        keys = [
+            p.mirror_fold_bytes() if fold else p.canonical_bytes()
+            for p in placements
+        ]
+        representatives: dict = {}
+        for placement, key in zip(placements, keys):
+            if key not in representatives:
+                representatives[key] = placement
+        energies = batched_mean_distances(
+            list(representatives.values()), self.cost, w
+        )
+        by_key = dict(zip(representatives.keys(), energies.tolist()))
+        return np.asarray([by_key[key] for key in keys], dtype=float)
 
     def for_slice(self, lo: int, hi: int) -> "RowObjective":
         """The objective restricted to routers ``lo .. hi - 1``.

@@ -86,10 +86,10 @@ class DesignPoint:
 class SweepResult:
     """Outcome of the full ``C`` sweep for one network size.
 
-    ``restarts`` / ``jobs`` record how the sweep was executed (both 1
-    for the legacy sequential path); ``restart_energies`` maps each
-    ``C`` to the per-restart final energies, in restart order, when the
-    multi-restart engine ran.
+    ``restarts`` / ``jobs`` / ``chains`` record how the sweep was
+    executed (all 1 for the legacy sequential path); ``restart_energies``
+    maps each ``C`` to the per-restart final energies, in restart
+    order, when the multi-restart engine ran.
     """
 
     n: int
@@ -98,6 +98,7 @@ class SweepResult:
     solutions: Dict[int, RowSolution] = field(default_factory=dict)
     restarts: int = 1
     jobs: int = 1
+    chains: int = 1
     restart_energies: Dict[int, Tuple[float, ...]] = field(default_factory=dict)
 
     @property
@@ -157,7 +158,8 @@ def solve_row_problem(
             cost=cost, weights=weights, impl=impl,
             base_seed=config.seed,
             max_evaluations=config.max_evaluations,
-            restarts=config.restarts, jobs=config.jobs,
+            restarts=config.effective_restarts, jobs=config.jobs,
+            chains=config.chains,
             incremental=config.incremental,
             resync_every=config.resync_every, obs=obs,
         )
@@ -401,11 +403,13 @@ def optimize(
     impl = "vectorized"
     incremental = False
     resync_every = 1_000
+    chains = 1
     if config is not None:
         rng = config.seed
         max_evaluations = config.max_evaluations
         use_parallel = config.parallel
-        restarts, jobs = config.restarts, config.jobs
+        restarts, jobs = config.effective_restarts, config.jobs
+        chains = config.chains
         impl = config.impl
         incremental = config.incremental
         resync_every = config.resync_every
@@ -432,6 +436,7 @@ def optimize(
             max_evaluations=max_evaluations,
             restarts=restarts or 1,
             jobs=jobs or 1,
+            chains=chains,
             impl=impl,
             incremental=incremental,
             resync_every=resync_every,

@@ -32,12 +32,16 @@ same task functions in the same order, just inline).
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.annealing import AnnealingParams
+from repro.core.annealing import AnnealingParams, anneal_population
+from repro.core.branch_bound import effective_link_limit, validated_link_limit
+from repro.core.connection_matrix import ConnectionMatrix
+from repro.core.divide_conquer import initial_solution
 from repro.core.latency import BandwidthConfig, PacketMix, RowObjective
 from repro.core.optimizer import (
     METHODS,
@@ -51,21 +55,26 @@ from repro.obs.sinks import MemorySink
 from repro.routing.shortest_path import HopCostModel
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
-from repro.util.rngtools import derived_rng, fresh_entropy
+from repro.util.rngtools import derived_rng, ensure_rng, fresh_entropy
 
 
 @dataclass(frozen=True)
 class SearchTask:
-    """One independent SA chain: solve ``P~(n, C)`` from one stream.
+    """One worker unit: a group of SA restarts for one ``P~(n, C)``.
 
     Tasks are frozen, picklable value objects -- everything a worker
     needs and nothing it could share, which is what makes the fork/spawn
     boundary safe and the result a pure function of the task.
+    ``restarts`` holds the restart indices of the group: a singleton
+    runs the plain serial chain, a longer tuple runs the group in
+    lockstep (:func:`repro.core.annealing.anneal_population`) -- one
+    batched objective call per move across the group, byte-identical
+    trajectories either way.
     """
 
     n: int
     link_limit: int
-    restart: int
+    restarts: Tuple[int, ...]
     method: str
     params: AnnealingParams
     cost: HopCostModel
@@ -80,7 +89,7 @@ class SearchTask:
 
 @dataclass
 class TaskResult:
-    """A worker's complete output: solution plus captured observability."""
+    """One restart's complete output: solution plus captured observability."""
 
     link_limit: int
     restart: int
@@ -89,8 +98,24 @@ class TaskResult:
     metrics: dict
 
 
-def _run_task(task: SearchTask) -> TaskResult:
-    """Execute one task (module-level so it pickles for pool workers)."""
+def _chain_groups(restarts: int, chains: int) -> List[Tuple[int, ...]]:
+    """Split restart indices into consecutive lockstep groups.
+
+    ``chains=1`` (the default) keeps every restart its own task;
+    ``chains=K`` packs restarts ``0..K-1`` into one group, ``K..2K-1``
+    into the next, and so on (the last group may be smaller).  Grouping
+    never changes which restarts run or their derived seeds -- only how
+    many share a process and a batched kernel call.
+    """
+    step = max(1, chains)
+    return [
+        tuple(range(lo, min(lo + step, restarts)))
+        for lo in range(0, restarts, step)
+    ]
+
+
+def _run_single(task: SearchTask, restart: int) -> TaskResult:
+    """Execute one restart of a task through the serial solve path."""
     # NB: an empty MemorySink is falsy (it has __len__), so the guards
     # here must compare against None explicitly.
     sink = MemorySink() if task.capture_events else None
@@ -107,7 +132,7 @@ def _run_task(task: SearchTask) -> TaskResult:
         method=task.method,
         objective=objective,
         params=task.params,
-        rng=derived_rng(task.base_seed, task.link_limit, task.restart),
+        rng=derived_rng(task.base_seed, task.link_limit, restart),
         max_evaluations=task.max_evaluations,
         obs=obs,
         incremental=task.incremental,
@@ -115,11 +140,108 @@ def _run_task(task: SearchTask) -> TaskResult:
     )
     return TaskResult(
         link_limit=task.link_limit,
-        restart=task.restart,
+        restart=restart,
         solution=solution,
         events=[] if sink is None else [e.to_dict() for e in sink.events],
         metrics=obs.metrics.snapshot(),
     )
+
+
+def _run_population(task: SearchTask) -> List[TaskResult]:
+    """Execute a whole restart group in lockstep.
+
+    Mirrors the serial ``_solve_row`` SA flow per chain exactly: the
+    deterministic D&C seed is computed once (every serial restart
+    would recompute the identical solution), each chain draws its
+    matrix and stream from ``derived_rng(base_seed, C, restart)`` just
+    as its serial run would, and :func:`anneal_population` interleaves
+    the chains with one batched objective call per move.  The group
+    shares one event sink; its events and metrics ride on the first
+    restart's :class:`TaskResult` so the parent-side merge sees them
+    exactly once.
+    """
+    sink = MemorySink() if task.capture_events else None
+    obs = Instrumentation(sinks=[] if sink is None else [sink])
+    objective = RowObjective(
+        cost=task.cost,
+        weights=task.weights,
+        impl=task.impl,
+        obs=None if obs.is_null else obs,
+    )
+    limit = effective_link_limit(task.n, task.link_limit)
+    start = time.perf_counter()
+    if obs.enabled:
+        obs.emit("solve.start", n=task.n, link_limit=task.link_limit,
+                 method=task.method, chains=list(task.restarts))
+
+    seed = None
+    initials, rngs = [], []
+    if task.method == "dc_sa":
+        seed = initial_solution(task.n, limit, objective, obs=obs)
+        for restart in task.restarts:
+            initials.append(ConnectionMatrix.from_placement(seed.placement, limit))
+            rngs.append(
+                ensure_rng(derived_rng(task.base_seed, task.link_limit, restart))
+            )
+    else:  # only_sa: the matrix draw and the SA stream share one generator
+        for restart in task.restarts:
+            gen = ensure_rng(derived_rng(task.base_seed, task.link_limit, restart))
+            initials.append(ConnectionMatrix.random(task.n, limit, gen))
+            rngs.append(gen)
+
+    sas = anneal_population(
+        initials,
+        objective,
+        params=task.params,
+        rngs=rngs,
+        max_evaluations=task.max_evaluations,
+        obs=obs,
+    )
+    wall = time.perf_counter() - start
+
+    results = []
+    for idx, (restart, sa) in enumerate(zip(task.restarts, sas)):
+        placement, energy = sa.best_placement, sa.best_energy
+        if seed is not None and seed.energy < energy:
+            placement, energy = seed.placement, seed.energy
+        evaluations = sa.evaluations + (seed.evaluations if seed else 0)
+        solution = RowSolution(
+            n=task.n,
+            link_limit=task.link_limit,
+            placement=placement,
+            energy=energy,
+            method=task.method,
+            evaluations=evaluations,
+            wall_time_s=wall,
+            annealing=sa,
+            seed_solution=seed,
+        )
+        results.append(TaskResult(
+            link_limit=task.link_limit,
+            restart=restart,
+            solution=solution,
+            events=(
+                [e.to_dict() for e in sink.events]
+                if sink is not None and idx == 0 else []
+            ),
+            metrics=obs.metrics.snapshot() if idx == 0 else {},
+        ))
+    return results
+
+
+def _run_task(task: SearchTask) -> List[TaskResult]:
+    """Execute one task (module-level so it pickles for pool workers).
+
+    Returns one :class:`TaskResult` per restart in the group, in
+    restart order.  Groups of one, exact solves (no SA to interleave)
+    and incremental-engine runs (per-move O(n^2) pricing, nothing to
+    batch) take the serial per-restart path; everything else runs the
+    lockstep population path -- the results are byte-identical, only
+    the kernel-launch count differs.
+    """
+    if len(task.restarts) == 1 or task.method == "exact" or task.incremental:
+        return [_run_single(task, restart) for restart in task.restarts]
+    return _run_population(task)
 
 
 def parallel_map(fn, items: Sequence, jobs: int) -> List:
@@ -142,8 +264,17 @@ def parallel_map(fn, items: Sequence, jobs: int) -> List:
 
 
 def run_tasks(tasks: Sequence[SearchTask], jobs: int) -> List[TaskResult]:
-    """Run search tasks inline or on a process pool, in task order."""
-    return parallel_map(_run_task, tasks, jobs)
+    """Run search tasks inline or on a process pool, in task order.
+
+    Each task yields one result per restart in its group; the flattened
+    list is in ``(task, restart)`` order, which -- with consecutive
+    chain groups -- is plain ``(C, restart)`` order.
+    """
+    return [
+        result
+        for group in parallel_map(_run_task, tasks, jobs)
+        for result in group
+    ]
 
 
 def best_of(results: Sequence[TaskResult]) -> TaskResult:
@@ -151,6 +282,27 @@ def best_of(results: Sequence[TaskResult]) -> TaskResult:
     if not results:
         raise ConfigurationError("cannot reduce an empty result set")
     return min(results, key=lambda r: (r.solution.energy, r.restart))
+
+
+def _check_grid(restarts: int, jobs: int, chains: int, incremental: bool) -> int:
+    """Validate the execution grid; returns the effective restart count.
+
+    ``chains=K`` alone means "run K lockstep chains", so the restart
+    count is raised to at least ``chains`` -- mirroring
+    :attr:`repro.api.SearchConfig.effective_restarts`.
+    """
+    if restarts < 1:
+        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if chains < 1:
+        raise ConfigurationError(f"chains must be >= 1, got {chains}")
+    if chains > 1 and incremental:
+        raise ConfigurationError(
+            "chains > 1 is incompatible with the incremental engine "
+            "(per-move O(n^2) pricing has nothing to batch)"
+        )
+    return max(restarts, chains)
 
 
 def _require_base_seed(base_seed) -> int:
@@ -198,12 +350,13 @@ def _build_tasks(
     capture_events: bool,
     incremental: bool = False,
     resync_every: int = 1_000,
+    chains: int = 1,
 ) -> List[SearchTask]:
     return [
         SearchTask(
             n=n,
             link_limit=limit,
-            restart=r,
+            restarts=group,
             method=method,
             params=params,
             cost=cost,
@@ -216,7 +369,7 @@ def _build_tasks(
             resync_every=resync_every,
         )
         for limit in limits
-        for r in range(restarts)
+        for group in _chain_groups(restarts, chains)
     ]
 
 
@@ -232,6 +385,7 @@ def parallel_row_search(
     max_evaluations: Optional[int] = None,
     restarts: int = 1,
     jobs: int = 1,
+    chains: int = 1,
     incremental: bool = False,
     resync_every: int = 1_000,
     obs: Optional[Instrumentation] = None,
@@ -240,24 +394,26 @@ def parallel_row_search(
 
     Returns the winning :class:`RowSolution` plus the per-restart final
     energies (restart order), so callers can report the spread.
+    ``chains=K`` packs consecutive restarts into lockstep groups of
+    ``K`` (one batched objective call per move per group) without
+    changing any result byte; it composes freely with ``jobs``.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
-    if restarts < 1:
-        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
-    if jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    restarts = _check_grid(restarts, jobs, chains, incremental)
     obs = ensure_obs(obs)
     seed = _require_base_seed(base_seed)
+    limit = validated_link_limit(n, link_limit, obs)
     tasks = _build_tasks(
-        n, [link_limit], restarts, method, params or AnnealingParams(),
+        n, [limit], restarts, method, params or AnnealingParams(),
         cost or HopCostModel(), weights, impl, seed, max_evaluations,
         capture_events=obs.enabled, incremental=incremental,
-        resync_every=resync_every,
+        resync_every=resync_every, chains=chains,
     )
     if obs.enabled:
-        obs.emit("parallel.start", n=n, link_limit=link_limit, method=method,
-                 restarts=restarts, jobs=jobs, tasks=len(tasks), base_seed=seed)
+        obs.emit("parallel.start", n=n, link_limit=limit, method=method,
+                 restarts=restarts, jobs=jobs, chains=chains,
+                 tasks=len(tasks), base_seed=seed)
     with obs.span("parallel.row_search"):
         results = run_tasks(tasks, jobs)
     _merge_observability(obs, results)
@@ -284,6 +440,7 @@ def parallel_sweep(
     max_evaluations: Optional[int] = None,
     restarts: int = 1,
     jobs: int = 1,
+    chains: int = 1,
     weights=None,
     impl: str = "vectorized",
     incremental: bool = False,
@@ -295,31 +452,36 @@ def parallel_sweep(
     The parallel counterpart of :func:`repro.core.optimizer.optimize`:
     the ``(C, restart)`` grid runs on up to ``jobs`` processes, and for
     a fixed ``base_seed`` the returned :class:`SweepResult` carries
-    bit-identical placements for every ``jobs`` value.
+    bit-identical placements for every ``jobs`` value.  ``chains=K``
+    additionally packs consecutive restarts into lockstep population
+    groups -- same placements, fewer kernel launches.  Every requested
+    ``C`` is validated once here (:func:`validated_link_limit`):
+    oversized limits are clamped to ``C_full`` with a ``config.clamp``
+    event before any worker spawns.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; expected one of {METHODS}")
-    if restarts < 1:
-        raise ConfigurationError(f"restarts must be >= 1, got {restarts}")
-    if jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    restarts = _check_grid(restarts, jobs, chains, incremental)
     bandwidth = bandwidth or BandwidthConfig()
     mix = mix or PacketMix.paper_default()
     cost = cost or HopCostModel()
     params = params or AnnealingParams()
     obs = ensure_obs(obs)
     seed = _require_base_seed(base_seed)
-    limits = tuple(link_limits or bandwidth.valid_link_limits(n))
+    limits = tuple(dict.fromkeys(
+        validated_link_limit(n, c, obs)
+        for c in (link_limits or bandwidth.valid_link_limits(n))
+    ))
 
     searched = [c for c in limits if c > 1]
     tasks = _build_tasks(
         n, searched, restarts, method, params, cost, weights, impl, seed,
         max_evaluations, capture_events=obs.enabled,
-        incremental=incremental, resync_every=resync_every,
+        incremental=incremental, resync_every=resync_every, chains=chains,
     )
     if obs.enabled:
         obs.emit("parallel.start", n=n, method=method, restarts=restarts,
-                 jobs=jobs, tasks=len(tasks), base_seed=seed,
+                 jobs=jobs, chains=chains, tasks=len(tasks), base_seed=seed,
                  link_limits=list(limits))
     with obs.span("parallel.sweep"):
         results = run_tasks(tasks, jobs)
@@ -329,7 +491,8 @@ def parallel_sweep(
     for res in results:
         by_limit.setdefault(res.link_limit, []).append(res)
 
-    sweep = SweepResult(n=n, method=method, restarts=restarts, jobs=jobs)
+    sweep = SweepResult(n=n, method=method, restarts=restarts, jobs=jobs,
+                        chains=chains)
     objective = RowObjective(cost=cost, weights=weights, impl=impl)
     for limit in limits:
         if limit == 1:

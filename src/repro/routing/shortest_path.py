@@ -25,7 +25,7 @@ so any caller can be flipped onto the oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -110,6 +110,105 @@ def weight_stack(placement: RowPlacement, cost: HopCostModel) -> np.ndarray:
         w[0, i, j] = c
         w[1, j, i] = c
     return w
+
+
+def weight_stack_population(
+    placements: Sequence[RowPlacement],
+    cost: HopCostModel,
+) -> np.ndarray:
+    """Directional weight stacks for a whole population: ``(2B, n, n)``.
+
+    Slices ``2b`` and ``2b + 1`` are placement ``b``'s left-to-right
+    and right-to-left matrices, laid out exactly as
+    :func:`weight_stack` lays out its ``(2, n, n)`` pair -- so running
+    the batched Floyd-Warshall on the population stack relaxes every
+    slice with elementwise operations and is bit-identical, per slice,
+    to ``B`` separate two-slice passes.  All placements must share one
+    row size ``n``.
+    """
+    placements = list(placements)
+    if not placements:
+        raise ValueError("population must contain at least one placement")
+    n = placements[0].n
+    for p in placements:
+        if p.n != n:
+            raise ValueError(
+                f"population mixes row sizes: expected n={n}, got n={p.n}"
+            )
+    w = np.full((2 * len(placements), n, n), INF)
+    idx = np.arange(n)
+    w[:, idx, idx] = 0.0
+    # hop_cost(length) is precomputed per length so every slice sees the
+    # exact same float weight_stack would have written.
+    cost_by_len = np.asarray(
+        [0.0] + [cost.hop_cost(length) for length in range(1, n)]
+    )
+    # The n - 1 local links are common to every placement: write them
+    # across all slices in two vectorized strokes.
+    if n > 1:
+        unit = cost_by_len[1]
+        w[0::2, idx[:-1], idx[1:]] = unit  # left-to-right
+        w[1::2, idx[1:], idx[:-1]] = unit  # right-to-left
+    # Only express links differ per placement (i < j by construction).
+    flat = [
+        (2 * b, i, j)
+        for b, placement in enumerate(placements)
+        for i, j in placement.express_links
+    ]
+    if flat:
+        s, r, c = np.asarray(flat, dtype=np.intp).T
+        v = cost_by_len[c - r]
+        w[s, r, c] = v  # left-to-right
+        w[s + 1, c, r] = v  # right-to-left
+    return w
+
+
+def batched_mean_distances(
+    placements: Sequence[RowPlacement],
+    cost: HopCostModel | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mean directional head latency of each placement, in one FW pass.
+
+    The population version of ``mean_row_head_latency``: one
+    ``(2B, n, n)`` min-plus Floyd-Warshall prices all ``B`` placements,
+    then each mean is reduced per slice-pair with the exact operation
+    order of the scalar path -- results are bit-identical to ``B``
+    scalar evaluations.  ``weights`` (an ``n x n`` nonnegative matrix,
+    validated as in the scalar path) switches to the traffic-weighted
+    mean.  Returns shape ``(B,)``.
+    """
+    from repro.util.errors import ConfigurationError
+
+    cost = cost or HopCostModel()
+    placements = list(placements)
+    if not placements:
+        return np.empty(0, dtype=float)
+    n = placements[0].n
+    w = None if weights is None else np.asarray(weights, dtype=float)
+    if w is not None:
+        if w.shape != (n, n):
+            raise ConfigurationError(f"weights shape {w.shape} != {(n, n)}")
+        total = w.sum()
+        if total <= 0:
+            raise ConfigurationError("weights must have positive sum")
+    stack = floyd_warshall_distances_batch(weight_stack_population(placements, cost))
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    # Combine the directional pairs for all placements at once; each
+    # combined[b] is then a C-contiguous (n, n) slice whose reduction
+    # order matches the scalar path's freshly-allocated matrix exactly.
+    combined = np.where(upper[None, :, :], stack[0::2], stack[1::2])
+    idx = np.arange(n)
+    combined[:, idx, idx] = 0.0
+    # Reducing each C-contiguous slice over its flattened innermost
+    # axis applies numpy's pairwise summation per row -- the identical
+    # operation order to `.mean()` / `.sum()` on the scalar path's
+    # freshly-allocated (n, n) matrix, hence bit-identical results (a
+    # fused `mean(axis=(1, 2))` over the 3-D view would not make that
+    # guarantee; the property suite pins this).
+    if w is None:
+        return combined.reshape(len(placements), -1).mean(axis=1)
+    return (combined * w).reshape(len(placements), -1).sum(axis=1) / total
 
 
 def floyd_warshall_batch(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -16,6 +16,7 @@ the extra links ``(i, j)`` with ``j >= i + 2``.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Tuple
 
@@ -31,6 +32,20 @@ def normalize_link(link: Iterable[int]) -> Link:
     if a == b:
         raise InvalidPlacementError(f"self-link at router {a}")
     return (a, b) if a < b else (b, a)
+
+
+def pack_links(n: int, links: Iterable[Link]) -> bytes:
+    """Encode ``n`` followed by link endpoints as little-endian uint16s.
+
+    The shared byte encoding behind :meth:`RowPlacement.canonical_bytes`
+    and :meth:`RowPlacement.mirror_fold_bytes`; ``links`` must already
+    be in the desired (sorted) order.
+    """
+    flat = [n]
+    for i, j in links:
+        flat.append(i)
+        flat.append(j)
+    return struct.pack(f"<{len(flat)}H", *flat)
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,22 @@ class RowPlacement:
     def mesh(cls, n: int) -> "RowPlacement":
         """The plain mesh row: local links only, no express links."""
         return cls(n=n, express_links=frozenset())
+
+    @classmethod
+    def from_normalized(cls, n: int, links: frozenset) -> "RowPlacement":
+        """Construct without re-validating ``links``.
+
+        For hot paths (bulk enumeration, the D&C combine loop) whose
+        links are normalized and in range *by construction*:
+        ``links`` must be a frozenset of ``(i, j)`` with
+        ``0 <= i``, ``j <= n - 1`` and ``j >= i + 2``.  Equality,
+        hashing and every query behave exactly as for a validated
+        instance.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "express_links", links)
+        return self
 
     @classmethod
     def fully_connected(cls, n: int) -> "RowPlacement":
@@ -201,20 +232,42 @@ class RowPlacement:
         """A canonical byte encoding of this exact placement.
 
         ``n`` followed by the sorted link endpoints, little-endian
-        uint16 each.  Two placements map to the same bytes iff they are
-        equal, so the encoding is a safe dictionary key for evaluation
-        caches shared across search restarts -- unlike
-        :meth:`canonical_key`, it does NOT identify a placement with
-        its mirror image (mirror energies differ under traffic-weighted
-        objectives).
+        uint16 each (see :func:`pack_links`).  Two placements map to
+        the same bytes iff they are equal, so the encoding is a safe
+        dictionary key for evaluation caches shared across search
+        restarts -- unlike :meth:`canonical_key` /
+        :meth:`mirror_fold_bytes`, it does NOT identify a placement
+        with its mirror image (mirror energies differ under
+        traffic-weighted objectives).
         """
-        import struct
+        return pack_links(self.n, sorted(self.express_links))
 
-        flat = [self.n]
-        for i, j in sorted(self.express_links):
-            flat.append(i)
-            flat.append(j)
-        return struct.pack(f"<{len(flat)}H", *flat)
+    def mirror_min_links(self) -> Tuple[Link, ...]:
+        """The mirror-fold representative of this placement's link set.
+
+        The lexicographically smaller of the sorted link list and its
+        mirror image's -- the single folding rule shared by
+        :meth:`canonical_key`, :meth:`mirror_fold_bytes` and the exact
+        searches' per-class dedup, so every consumer agrees on which
+        member represents a mirror pair.  The mirror's links are
+        derived arithmetically (link ``(i, j)`` reflects to
+        ``(n-1-j, n-1-i)``, already normalized) rather than through
+        :meth:`reversed`, keeping this hot dedup key allocation-light.
+        """
+        last = self.n - 1
+        fwd = tuple(sorted(self.express_links))
+        rev = tuple(sorted((last - j, last - i) for i, j in fwd))
+        return min(fwd, rev)
+
+    def mirror_fold_bytes(self) -> bytes:
+        """Byte key identical for a placement and its mirror image.
+
+        :meth:`canonical_bytes` of the :meth:`mirror_min_links`
+        representative.  Safe as a dedup key only for objectives that
+        are reversal-invariant (the unweighted mean); traffic-weighted
+        caches must key on :meth:`canonical_bytes`.
+        """
+        return pack_links(self.n, self.mirror_min_links())
 
     def canonical_key(self) -> Tuple[int, Tuple[Link, ...]]:
         """A key identical for a placement and its mirror image.
@@ -223,6 +276,4 @@ class RowPlacement:
         search procedures can deduplicate on this key and halve their
         work.
         """
-        fwd = tuple(sorted(self.express_links))
-        rev = tuple(sorted(self.reversed().express_links))
-        return (self.n, min(fwd, rev))
+        return (self.n, self.mirror_min_links())

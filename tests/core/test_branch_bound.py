@@ -45,6 +45,21 @@ class TestExhaustive:
         result = exhaustive_matrix_search(8, 3, RowObjective())
         assert result.evaluations < result.states_visited
 
+    @pytest.mark.parametrize("n,c", [(8, 2), (8, 3), (6, 4)])
+    def test_batched_identical_to_scalar(self, n, c):
+        # Population batching is a kernel-launch optimization only:
+        # placement, energy, evaluation count and state count must all
+        # match the scalar loop, for any batch size.
+        scalar = exhaustive_matrix_search(n, c, RowObjective(), batch_size=1)
+        for batch_size in (7, 128):
+            batched = exhaustive_matrix_search(
+                n, c, RowObjective(), batch_size=batch_size
+            )
+            assert batched.placement == scalar.placement
+            assert batched.energy == scalar.energy
+            assert batched.evaluations == scalar.evaluations
+            assert batched.states_visited == scalar.states_visited
+
 
 class TestBranchAndBound:
     @pytest.mark.parametrize("n,c", [(4, 2), (5, 2), (6, 2), (6, 3), (8, 2)])

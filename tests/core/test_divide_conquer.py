@@ -58,6 +58,18 @@ class TestRecursive:
         sol = initial_solution(8, 64, RowObjective())
         sol.placement.validate(16)  # C_full(8) = 16
 
+    @pytest.mark.parametrize("n,c", [(8, 4), (13, 3), (16, 4)])
+    def test_batched_combine_identical_to_scalar(self, n, c):
+        # The combine step prices the base + all bridging candidates in
+        # one Floyd-Warshall stack; results must match the scalar loop
+        # exactly, including the evaluation count.
+        scalar = initial_solution(n, c, RowObjective(), batch_size=1)
+        for batch_size in (2, 128):
+            batched = initial_solution(n, c, RowObjective(), batch_size=batch_size)
+            assert batched.placement == scalar.placement
+            assert batched.energy == scalar.energy
+            assert batched.evaluations == scalar.evaluations
+
 
 @settings(max_examples=10, deadline=None)
 @given(st.integers(5, 12), st.integers(2, 4))

@@ -1,0 +1,337 @@
+"""Population-batched evaluation == scalar evaluation, bit for bit.
+
+The batched kernels (`weight_stack_population`, `batched_mean_distances`,
+``RowObjective.evaluate_many``, :func:`anneal_population`) exist purely
+for throughput: one ``(2B, n, n)`` Floyd-Warshall stack instead of ``B``
+``(2, n, n)`` passes.  Min-plus relaxation is elementwise per slice and
+the final reduction runs over each slice's contiguous row, so the
+contract is *bit-identical* results -- strict ``==`` on floats, byte
+equality on placements -- which is what every test here demands.
+
+Hypothesis drives the population shapes (including ``B = 1`` and
+duplicate members) and non-integral hop costs; fixed-seed tests pin the
+lockstep-SA and chains-vs-restarts equivalences end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annealing import (
+    AnnealingParams,
+    MemoizedObjective,
+    anneal,
+    anneal_population,
+)
+from repro.core.branch_bound import validated_link_limit
+from repro.core.connection_matrix import (
+    ConnectionMatrix,
+    enumerate_matrices,
+    iter_unique_placements,
+)
+from repro.core.latency import RowObjective
+from repro.core.parallel import parallel_row_search, parallel_sweep
+from repro.obs import MemorySink
+from repro.obs.instrument import Instrumentation
+from repro.routing.shortest_path import (
+    HopCostModel,
+    batched_mean_distances,
+    floyd_warshall_distances_batch,
+    weight_stack,
+    weight_stack_population,
+)
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError
+from repro.util.rngtools import derived_rng, ensure_rng
+
+#: Integral and deliberately non-integral hop costs: the fold/dedup
+#: fast paths gate on integrality, so both branches must agree.
+COSTS = (
+    HopCostModel(),
+    HopCostModel(router_delay=2.7, unit_link_delay=0.3, contention_delay=0.1),
+)
+
+SMOKE = AnnealingParams(total_moves=400, moves_per_cooldown=100)
+
+
+@st.composite
+def populations(draw):
+    """(n, [RowPlacement]) batches, possibly with duplicate members."""
+    n = draw(st.integers(4, 10))
+    limit = draw(st.integers(2, 4))
+    count = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**16))
+    gen = np.random.default_rng((n, limit, seed))
+    batch = [ConnectionMatrix.random(n, limit, gen).decode() for _ in range(count)]
+    if count > 2 and draw(st.booleans()):
+        batch[-1] = batch[0]  # force a duplicate
+    return n, batch
+
+
+# ----------------------------------------------------------------------
+# Kernel-level parity
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(populations())
+def test_weight_stack_population_matches_scalar_stacks(pop):
+    _, batch = pop
+    for cost in COSTS:
+        stacked = weight_stack_population(batch, cost)
+        assert stacked.shape == (2 * len(batch), batch[0].n, batch[0].n)
+        for b, placement in enumerate(batch):
+            single = weight_stack(placement, cost)
+            assert np.array_equal(stacked[2 * b:2 * b + 2], single)
+
+
+@settings(max_examples=40, deadline=None)
+@given(populations())
+def test_batched_mean_distances_matches_scalar_objective(pop):
+    _, batch = pop
+    for cost in COSTS:
+        objective = RowObjective(cost=cost)
+        energies = batched_mean_distances(batch, cost)
+        assert energies.shape == (len(batch),)
+        for placement, energy in zip(batch, energies):
+            assert float(energy) == objective(placement)
+
+
+@settings(max_examples=25, deadline=None)
+@given(populations(), st.integers(0, 2**16))
+def test_batched_mean_distances_weighted_parity(pop, seed):
+    n, batch = pop
+    gen = np.random.default_rng(seed)
+    weights = gen.random((n, n))
+    np.fill_diagonal(weights, 0.0)
+    for cost in COSTS:
+        objective = RowObjective(cost=cost, weights=weights)
+        energies = batched_mean_distances(batch, cost, weights=objective.weights)
+        for placement, energy in zip(batch, energies):
+            assert float(energy) == objective(placement)
+
+
+def test_batched_distances_equal_per_placement_passes():
+    # The (2B, n, n) stack relaxes each slice independently, so it must
+    # equal B separate (2, n, n) runs exactly.
+    batch = [
+        ConnectionMatrix.random(8, 3, np.random.default_rng(k)).decode()
+        for k in range(6)
+    ]
+    stacked = floyd_warshall_distances_batch(weight_stack_population(batch, COSTS[1]))
+    for b, placement in enumerate(batch):
+        single = floyd_warshall_distances_batch(weight_stack(placement, COSTS[1]))
+        assert np.array_equal(stacked[2 * b:2 * b + 2], single)
+
+
+# ----------------------------------------------------------------------
+# Objective-level parity (fold/dedup layers)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(populations())
+def test_evaluate_many_matches_scalar_calls(pop):
+    _, batch = pop
+    for cost in COSTS:
+        scalar = RowObjective(cost=cost)
+        batched = RowObjective(cost=cost)
+        expected = [scalar(p) for p in batch]
+        got = batched.evaluate_many(batch)
+        assert [float(v) for v in got] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(populations())
+def test_evaluate_many_folded_flag_is_value_safe(pop):
+    # folded=True only skips the objective-level dedup; values must not
+    # move even when the caller's "already folded" claim is false.
+    _, batch = pop
+    for cost in COSTS:
+        objective = RowObjective(cost=cost)
+        plain = objective.evaluate_many(batch)
+        folded = objective.evaluate_many(batch, folded=True)
+        assert np.array_equal(plain, folded)
+
+
+@settings(max_examples=25, deadline=None)
+@given(populations())
+def test_memoized_evaluate_many_accounting_matches_scalar(pop):
+    _, batch = pop
+    scalar = MemoizedObjective(RowObjective())
+    batched = MemoizedObjective(RowObjective())
+    expected = [scalar(p) for p in batch]
+    got = batched.evaluate_many(batch)
+    assert [float(v) for v in got] == expected
+    # Unique-evaluation accounting is the Figure 7 x-axis: batching a
+    # population must count exactly like pricing it one by one.
+    assert batched.evaluations == scalar.evaluations
+    assert batched.calls == scalar.calls
+    # A second pass is all memo hits on both paths.
+    scalar_hits = scalar.hits
+    for p in batch:
+        scalar(p)
+    batched.evaluate_many(batch)
+    assert batched.hits == scalar.hits
+    assert scalar.hits == scalar_hits + len(batch)
+    assert batched.evaluations == scalar.evaluations
+
+
+# ----------------------------------------------------------------------
+# Enumeration parity
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n,limit", [(4, 2), (4, 3), (8, 2), (8, 3), (6, 4)])
+def test_iter_unique_placements_matches_decode_loop(n, limit):
+    seen = set()
+    expected = []
+    for matrix in enumerate_matrices(n, limit):
+        placement = matrix.decode()
+        key = placement.mirror_fold_bytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        expected.append(placement)
+    got = list(iter_unique_placements(n, limit))
+    assert got == expected  # same representatives, same order
+    assert [g.canonical_bytes() for g in got] == [
+        e.canonical_bytes() for e in expected
+    ]
+
+
+def test_iter_unique_placements_block_size_invariant():
+    full = list(iter_unique_placements(8, 3))
+    tiny = list(iter_unique_placements(8, 3, block_size=7))
+    assert full == tiny
+
+
+# ----------------------------------------------------------------------
+# Lockstep SA == K serial chains
+# ----------------------------------------------------------------------
+
+def _serial_and_population(n, limit, K, base_seed):
+    objective = RowObjective()
+    initials = [
+        ConnectionMatrix.random(n, limit, ensure_rng(derived_rng(base_seed, limit, k)))
+        for k in range(K)
+    ]
+    serial = [
+        anneal(
+            initials[k].copy(),
+            MemoizedObjective(objective),
+            params=SMOKE,
+            rng=ensure_rng(derived_rng(base_seed, limit, 1000 + k)),
+        )
+        for k in range(K)
+    ]
+    population = anneal_population(
+        initials,
+        objective,
+        params=SMOKE,
+        rngs=[ensure_rng(derived_rng(base_seed, limit, 1000 + k)) for k in range(K)],
+    )
+    return serial, population
+
+
+@pytest.mark.parametrize("K", [1, 3, 4])
+def test_anneal_population_reproduces_serial_chains(K):
+    serial, population = _serial_and_population(8, 3, K, base_seed=2019)
+    assert len(population) == K
+    for s, p in zip(serial, population):
+        assert p.best_placement.canonical_bytes() == s.best_placement.canonical_bytes()
+        assert p.best_energy == s.best_energy
+        assert p.initial_energy == s.initial_energy
+        assert p.evaluations == s.evaluations
+        assert p.accepted_moves == s.accepted_moves
+        assert p.uphill_accepted == s.uphill_accepted
+        assert p.trace == s.trace
+
+
+def test_anneal_population_rejects_rng_length_mismatch():
+    objective = RowObjective()
+    initials = [ConnectionMatrix.random(6, 3, ensure_rng(k)) for k in range(3)]
+    with pytest.raises(ConfigurationError):
+        anneal_population(initials, objective, params=SMOKE, rngs=[ensure_rng(0)])
+
+
+def test_anneal_population_does_not_mutate_initials():
+    initials = [ConnectionMatrix.random(6, 3, ensure_rng(k)) for k in range(2)]
+    frozen = [m.copy() for m in initials]
+    anneal_population(
+        initials, RowObjective(), params=SMOKE,
+        rngs=[ensure_rng(k) for k in range(2)],
+    )
+    assert initials == frozen
+
+
+# ----------------------------------------------------------------------
+# chains=K across the engine stack
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("method", ["dc_sa", "only_sa"])
+def test_chains_equal_serial_restarts(method):
+    base_sol, base_energies = parallel_row_search(
+        8, 3, method=method, params=SMOKE, base_seed=2019, restarts=4
+    )
+    for chains, jobs in ((2, 1), (4, 1), (3, 2)):
+        sol, energies = parallel_row_search(
+            8, 3, method=method, params=SMOKE, base_seed=2019,
+            restarts=4, chains=chains, jobs=jobs,
+        )
+        assert energies == base_energies
+        assert sol.placement == base_sol.placement
+        assert sol.energy == base_sol.energy
+        assert sol.evaluations == base_sol.evaluations
+
+
+def test_chains_alone_implies_restarts():
+    _, base = parallel_row_search(8, 3, params=SMOKE, base_seed=7, restarts=3)
+    _, got = parallel_row_search(8, 3, params=SMOKE, base_seed=7, chains=3)
+    assert got == base
+
+
+def test_sweep_chains_parity():
+    a = parallel_sweep(6, params=SMOKE, base_seed=47, restarts=4)
+    b = parallel_sweep(6, params=SMOKE, base_seed=47, restarts=4, chains=2)
+    assert a.restart_energies == b.restart_energies
+    for limit, sol in a.solutions.items():
+        other = b.solutions[limit]
+        assert other.placement == sol.placement
+        assert other.energy == sol.energy
+        assert other.evaluations == sol.evaluations
+    assert (a.chains, b.chains) == (1, 2)
+
+
+def test_chains_incompatible_with_incremental_engine():
+    with pytest.raises(ConfigurationError):
+        parallel_row_search(
+            8, 3, params=SMOKE, base_seed=1, chains=2, incremental=True
+        )
+
+
+# ----------------------------------------------------------------------
+# C validated once at the boundary
+# ----------------------------------------------------------------------
+
+class TestValidatedLinkLimit:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            validated_link_limit(8, 0)
+        with pytest.raises(ConfigurationError):
+            validated_link_limit(8, -3)
+
+    def test_passes_through_valid_limits(self):
+        assert validated_link_limit(8, 4) == 4
+        assert validated_link_limit(8, 16) == 16  # C_full for n=8
+
+    def test_clamps_and_emits_event(self):
+        sink = MemorySink()
+        obs = Instrumentation(sinks=[sink])
+        assert validated_link_limit(8, 99, obs) == 16
+        clamps = sink.of_kind("config.clamp")
+        assert len(clamps) == 1
+        assert clamps[0].payload["requested_link_limit"] == 99
+        assert clamps[0].payload["effective_link_limit"] == 16
+
+    def test_engine_solves_clamped_instance(self):
+        sol, _ = parallel_row_search(6, 99, params=SMOKE, base_seed=1)
+        assert sol.link_limit == validated_link_limit(6, 99)

@@ -39,6 +39,8 @@ class TestSearchConfig:
         [
             {"restarts": 0},
             {"jobs": -1},
+            {"chains": 0},
+            {"chains": 2, "incremental": True},
             {"impl": "cuda"},
             {"resync_every": -1},
             {"metrics_every": -5},
@@ -51,7 +53,14 @@ class TestSearchConfig:
     def test_parallel_property(self):
         assert SearchConfig(restarts=2).parallel
         assert SearchConfig(jobs=2).parallel
-        assert not SearchConfig(restarts=1, jobs=1).parallel
+        assert SearchConfig(chains=2).parallel
+        assert not SearchConfig(restarts=1, jobs=1, chains=1).parallel
+
+    def test_effective_restarts(self):
+        assert SearchConfig().effective_restarts == 1
+        assert SearchConfig(restarts=4).effective_restarts == 4
+        assert SearchConfig(chains=4).effective_restarts == 4
+        assert SearchConfig(restarts=6, chains=4).effective_restarts == 6
 
     def test_with_updates_round_trip(self):
         cfg = SearchConfig(seed=7, restarts=3)
@@ -70,17 +79,18 @@ class TestSearchConfig:
         ns.seed = 2019
         ns.restarts = 4
         ns.jobs = 2
+        ns.chains = 2
         ns.impl = "reference"
-        ns.incremental = True
+        ns.incremental = False
         ns.resync_every = 50
         ns.trace_out = "t.jsonl"
         ns.metrics_every = 100
         ns.profile = True
         cfg = SearchConfig.from_cli(ns)
         assert cfg == SearchConfig(
-            seed=2019, restarts=4, jobs=2, impl="reference", incremental=True,
-            resync_every=50, trace_out="t.jsonl", metrics_every=100,
-            profile=True,
+            seed=2019, restarts=4, jobs=2, chains=2, impl="reference",
+            incremental=False, resync_every=50, trace_out="t.jsonl",
+            metrics_every=100, profile=True,
         )
 
     def test_from_cli_missing_flags_default(self):

@@ -126,6 +126,48 @@ class TestTransforms:
         assert p.canonical_key() == p.reversed().canonical_key()
 
 
+class TestMirrorFold:
+    """Regression pin for the shared mirror-symmetry fold at ``n = 8``.
+
+    Every consumer of the fold (exact-search dedup, the batched
+    objective, bulk enumeration) keys on
+    :meth:`RowPlacement.mirror_fold_bytes`; these tests pin the exact
+    equivalence classes so a change to the fold rule cannot slip
+    through as a mere perf regression.
+    """
+
+    def test_single_link_placements_fold_to_12_classes(self):
+        # 21 single-express-link placements at n=8: 3 self-mirror
+        # links (i + j = 7) plus 9 mirror pairs -> 12 classes.
+        singles = [
+            RowPlacement(8, frozenset({(i, j)}))
+            for i in range(8)
+            for j in range(i + 2, 8)
+        ]
+        assert len(singles) == 21
+        classes = {p.mirror_fold_bytes() for p in singles}
+        assert len(classes) == 12
+        self_mirror = [
+            p for p in singles if p.mirror_fold_bytes() == p.reversed().mirror_fold_bytes()
+        ]
+        assert len(self_mirror) == 21  # the fold is mirror-invariant for all
+        fixed_points = [p for p in singles if p.express_links == p.reversed().express_links]
+        assert sorted(next(iter(p.express_links)) for p in fixed_points) == [
+            (0, 7), (1, 6), (2, 5),
+        ]
+
+    def test_representative_is_lexicographic_minimum(self):
+        p = RowPlacement(8, frozenset({(4, 7)}))
+        # mirror of (4, 7) is (0, 3), which sorts first.
+        assert p.mirror_min_links() == ((0, 3),)
+        assert p.mirror_fold_bytes() == RowPlacement(8, frozenset({(0, 3)})).mirror_fold_bytes()
+
+    def test_fold_separates_distinct_classes(self):
+        a = RowPlacement(8, frozenset({(0, 2)}))
+        b = RowPlacement(8, frozenset({(0, 3)}))
+        assert a.mirror_fold_bytes() != b.mirror_fold_bytes()
+
+
 @settings(max_examples=60, deadline=None)
 @given(row_placements())
 def test_cross_sections_nonnegative_and_local_counted(p):
