@@ -112,6 +112,11 @@ class SearchConfig:
         Observability: JSONL event trace path, periodic progress event
         interval, and span-profile printing (CLI flags of the same
         names).
+    ledger:
+        Run-ledger root directory (``--ledger``): record the run as a
+        content-addressed manifest under ``<ledger>/<run_id>/`` (see
+        :mod:`repro.obs.ledger`).  ``None`` disables recording; like
+        the other observability knobs it never affects results.
     """
 
     seed: Optional[int] = None
@@ -125,6 +130,7 @@ class SearchConfig:
     trace_out: Optional[str] = None
     metrics_every: int = 0
     profile: bool = False
+    ledger: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.restarts < 1:
@@ -187,6 +193,7 @@ class SearchConfig:
             trace_out=getattr(args, "trace_out", defaults.trace_out),
             metrics_every=getattr(args, "metrics_every", defaults.metrics_every),
             profile=getattr(args, "profile", defaults.profile),
+            ledger=getattr(args, "ledger", defaults.ledger),
         )
 
     def with_updates(self, **changes: Any) -> "SearchConfig":

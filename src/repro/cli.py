@@ -10,7 +10,14 @@ Gives downstream users the paper's flow without writing Python:
   jobs value at a fixed seed),
 * ``inspect``  -- show a placement's structure, matrix and audits,
 * ``experiments`` -- list the paper-figure regenerators,
-* ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``.
+* ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``
+  (``--by-worker`` / ``--by-task`` add the correlation views),
+* ``runs`` -- list / show / diff the run-ledger manifests written by
+  ``--ledger``,
+* ``metrics-export`` -- render a recorded run's metrics as Prometheus
+  text or JSON,
+* ``bench-report`` -- compare two ``benchmarks/results`` directories
+  and fail on perf regressions.
 
 Parallel search flags (``optimize`` / ``solve``): ``--restarts N`` runs
 ``N`` independent SA chains per ``C`` from derived seeds and keeps the
@@ -30,7 +37,10 @@ and metrics summary after the run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.api import SearchConfig
@@ -40,6 +50,7 @@ from repro.harness.designs import EFFORTS, hfb_design, mesh_design
 from repro.routing.shortest_path import IMPLEMENTATIONS
 from repro.harness.tables import pct_change, render_table
 from repro.obs import Instrumentation, JsonlSink, report_file
+from repro.obs.ledger import RunLedger, LEDGER_ROOT, diff_manifests, render_runs_table
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.topology.validate import audit_row
@@ -115,11 +126,23 @@ def _add_run_flags(
             "--profile", action="store_true",
             help="time spans and print the profile + metrics summary",
         )
+        g.add_argument(
+            "--ledger", metavar="DIR", nargs="?", const=LEDGER_ROOT,
+            default=None,
+            help="record the run as a content-addressed manifest under DIR "
+            f"(default {LEDGER_ROOT}; query with 'repro runs')",
+        )
 
 
 def _make_obs(args: argparse.Namespace) -> Optional[Instrumentation]:
-    """Build the run's instrumentation from CLI flags (None if unused)."""
-    if not (args.trace_out or args.profile):
+    """Build the run's instrumentation from CLI flags (None if unused).
+
+    ``--ledger`` alone creates a sink-less bundle: no events are built
+    (``enabled`` stays False, results stay bit-identical) but the
+    metrics registry fills so the manifest can record the run summary.
+    """
+    ledger = getattr(args, "ledger", None)
+    if not (args.trace_out or args.profile or ledger):
         return None
     sinks = []
     if args.trace_out:
@@ -133,8 +156,24 @@ def _make_obs(args: argparse.Namespace) -> Optional[Instrumentation]:
     return Instrumentation(sinks=sinks, profile=args.profile)
 
 
+@contextmanager
+def _obs_session(args: argparse.Namespace):
+    """The run's instrumentation with guaranteed sink teardown.
+
+    Sinks flush and close even when the command raises, so a JSONL
+    trace written up to a crash stays readable by ``repro
+    trace-report``; the exception still propagates.
+    """
+    obs = _make_obs(args)
+    try:
+        yield obs
+    finally:
+        if obs is not None:
+            obs.close()
+
+
 def _finish_obs(obs: Optional[Instrumentation], args: argparse.Namespace) -> None:
-    """Flush sinks and print requested end-of-run summaries."""
+    """Print requested end-of-run summaries (teardown is _obs_session's)."""
     if obs is None:
         return
     obs.close()
@@ -147,124 +186,263 @@ def _finish_obs(obs: Optional[Instrumentation], args: argparse.Namespace) -> Non
               f"(summarize with: repro trace-report {args.trace_out})")
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    obs = _make_obs(args)
-    cfg = SearchConfig.from_cli(args)
-    parallel = cfg.parallel
-    sweep = optimize(
-        args.n, method=args.method, params=EFFORTS[args.effort],
-        obs=obs, config=cfg,
-    )
-    if args.save:
-        from repro.io import save_sweep
+def _ledger_for(args: argparse.Namespace) -> Optional[RunLedger]:
+    path = getattr(args, "ledger", None)
+    return RunLedger(path) if path else None
 
-        save_sweep(sweep, args.save)
-        print(f"sweep saved to {args.save}")
-    rows = []
-    for c, point in sorted(sweep.points.items()):
-        rows.append(
-            [
-                c,
-                point.flit_bits,
-                point.latency.head,
-                point.latency.serialization,
-                point.total_latency,
-                len(point.placement.express_links),
-            ]
-        )
-    print(
-        render_table(
-            f"{args.n}x{args.n} design sweep ({args.method})",
-            ["C", "flit bits", "L_D", "L_S", "total", "express links"],
-            rows,
-        )
+
+def _record_run(
+    ledger: Optional[RunLedger],
+    obs: Optional[Instrumentation],
+    run_id: Optional[str],
+    kind: str,
+    params: dict,
+    config,
+    seed,
+    wall_time_s: float,
+    results: dict,
+    result_digest: str,
+) -> None:
+    """Write the manifest and tell the user where it went."""
+    if ledger is None:
+        return
+    metrics_summary: dict = {}
+    metrics: dict = {}
+    if obs is not None:
+        metrics_summary = obs.metrics.deterministic_summary()
+        metrics = obs.metrics.snapshot()
+    record = ledger.record(
+        kind=kind, params=params, config=config, seed=seed,
+        wall_time_s=wall_time_s, results=results,
+        result_digest=result_digest, metrics_summary=metrics_summary,
+        metrics=metrics, run_id=run_id,
     )
-    best = sweep.best
-    mesh = mesh_design(args.n)
-    print(f"\nbest: C={best.link_limit}, flit={best.flit_bits}b, "
-          f"total={best.total_latency:.2f} cycles "
-          f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
-    print(f"row placement: {sorted(best.placement.express_links)}")
-    if parallel:
-        spread = sweep.restart_energies.get(best.link_limit, ())
-        print(f"search: {sweep.restarts} restart(s) x {len(sweep.points)} limits "
-              f"on {sweep.jobs} job(s); best-C restart energies: "
-              f"{[round(e, 4) for e in spread]}")
-    _finish_obs(obs, args)
+    print(f"\nrun recorded: {record.run_id} "
+          f"({ledger.manifest_path(record.run_id)})")
+
+
+def _sweep_digest(sweep) -> str:
+    """Bit-level fingerprint of a sweep's placements and energies."""
+    from repro.obs.ledger import digest_parts
+
+    parts = []
+    for c in sorted(sweep.solutions):
+        sol = sweep.solutions[c]
+        parts.append(sol.placement.canonical_bytes())
+        parts.append(float(sol.energy).hex())
+    return digest_parts(*parts)
+
+
+def _solution_digest(sol) -> str:
+    from repro.obs.ledger import digest_parts
+
+    return digest_parts(
+        sol.placement.canonical_bytes(), float(sol.energy).hex()
+    )
+
+
+def _run_result_digest(*runs) -> str:
+    """Fingerprint of simulator run results (exact float hex)."""
+    from repro.obs.ledger import digest_parts
+
+    parts = []
+    for run in runs:
+        s = run.summary
+        parts.extend([
+            run.cycles_run, s.packets,
+            float(s.avg_network_latency).hex(),
+            float(s.avg_head_latency).hex(),
+            float(s.avg_serialization_latency).hex(),
+        ])
+    return digest_parts(*parts)
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    with _obs_session(args) as obs:
+        cfg = SearchConfig.from_cli(args)
+        parallel = cfg.parallel
+        ledger = _ledger_for(args)
+        ledger_params = {"n": args.n, "method": args.method,
+                         "effort": args.effort}
+        run_id = None
+        if ledger is not None:
+            run_id = ledger.run_id_for(
+                "optimize", ledger_params, cfg, cfg.seed
+            )
+            if obs is not None:
+                obs.set_context(run_id=run_id)
+        start = time.perf_counter()
+        sweep = optimize(
+            args.n, method=args.method, params=EFFORTS[args.effort],
+            obs=obs, config=cfg,
+        )
+        wall = time.perf_counter() - start
+        if args.save:
+            from repro.io import save_sweep
+
+            save_sweep(sweep, args.save)
+            print(f"sweep saved to {args.save}")
+        rows = []
+        for c, point in sorted(sweep.points.items()):
+            rows.append(
+                [
+                    c,
+                    point.flit_bits,
+                    point.latency.head,
+                    point.latency.serialization,
+                    point.total_latency,
+                    len(point.placement.express_links),
+                ]
+            )
+        print(
+            render_table(
+                f"{args.n}x{args.n} design sweep ({args.method})",
+                ["C", "flit bits", "L_D", "L_S", "total", "express links"],
+                rows,
+            )
+        )
+        best = sweep.best
+        mesh = mesh_design(args.n)
+        print(f"\nbest: C={best.link_limit}, flit={best.flit_bits}b, "
+              f"total={best.total_latency:.2f} cycles "
+              f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
+        print(f"row placement: {sorted(best.placement.express_links)}")
+        if parallel:
+            spread = sweep.restart_energies.get(best.link_limit, ())
+            print(f"search: {sweep.restarts} restart(s) x {len(sweep.points)} limits "
+                  f"on {sweep.jobs} job(s); best-C restart energies: "
+                  f"{[round(e, 4) for e in spread]}")
+        _record_run(
+            ledger, obs, run_id, "optimize", ledger_params, cfg, cfg.seed,
+            wall,
+            results={
+                "best_link_limit": best.link_limit,
+                "best_flit_bits": best.flit_bits,
+                "best_total_latency": best.total_latency,
+                "express_links": len(best.placement.express_links),
+            },
+            result_digest=_sweep_digest(sweep),
+        )
+        _finish_obs(obs, args)
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    obs = _make_obs(args)
-    cfg = SearchConfig.from_cli(args)
-    if cfg.parallel:
-        from repro.core.parallel import parallel_row_search
+    with _obs_session(args) as obs:
+        cfg = SearchConfig.from_cli(args)
+        ledger = _ledger_for(args)
+        ledger_params = {"n": args.n, "c": args.c, "method": args.method,
+                         "effort": args.effort}
+        run_id = None
+        if ledger is not None:
+            run_id = ledger.run_id_for("solve", ledger_params, cfg, cfg.seed)
+            if obs is not None:
+                obs.set_context(run_id=run_id)
+        start = time.perf_counter()
+        if cfg.parallel:
+            from repro.core.parallel import parallel_row_search
 
-        sol, energies = parallel_row_search(
-            args.n,
-            args.c,
-            method=args.method,
-            params=EFFORTS[args.effort],
-            base_seed=cfg.seed,
-            restarts=cfg.effective_restarts,
-            jobs=cfg.jobs,
-            chains=cfg.chains,
-            impl=cfg.impl,
-            incremental=cfg.incremental,
-            resync_every=cfg.resync_every,
-            obs=obs,
+            sol, energies = parallel_row_search(
+                args.n,
+                args.c,
+                method=args.method,
+                params=EFFORTS[args.effort],
+                base_seed=cfg.seed,
+                restarts=cfg.effective_restarts,
+                jobs=cfg.jobs,
+                chains=cfg.chains,
+                impl=cfg.impl,
+                incremental=cfg.incremental,
+                resync_every=cfg.resync_every,
+                obs=obs,
+            )
+        else:
+            sol = solve_row_problem(
+                args.n,
+                args.c,
+                method=args.method,
+                params=EFFORTS[args.effort],
+                obs=obs,
+                config=cfg,
+            )
+            energies = None
+        wall = time.perf_counter() - start
+        print(f"P~({args.n},{args.c}) [{args.method}]")
+        print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
+        print(f"  express links: {sorted(sol.placement.express_links)}")
+        print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
+        if energies is not None:
+            print(f"  restarts: {[round(e, 4) for e in energies]} "
+                  f"({cfg.effective_restarts} chains on {args.jobs} job(s))")
+        _record_run(
+            ledger, obs, run_id, "solve", ledger_params, cfg, cfg.seed, wall,
+            results={
+                "energy": sol.energy,
+                "express_links": len(sol.placement.express_links),
+                "evaluations": sol.evaluations,
+            },
+            result_digest=_solution_digest(sol),
         )
-    else:
-        sol = solve_row_problem(
-            args.n,
-            args.c,
-            method=args.method,
-            params=EFFORTS[args.effort],
-            obs=obs,
-            config=cfg,
-        )
-        energies = None
-    print(f"P~({args.n},{args.c}) [{args.method}]")
-    print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
-    print(f"  express links: {sorted(sol.placement.express_links)}")
-    print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
-    if energies is not None:
-        print(f"  restarts: {[round(e, 4) for e in energies]} "
-              f"({cfg.effective_restarts} chains on {args.jobs} job(s))")
-    _finish_obs(obs, args)
+        _finish_obs(obs, args)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    obs = _make_obs(args)
-    design = _design_for(args.scheme, args.n, args.seed, args.effort)
-    cfg = SimConfig(
-        flit_bits=design.point.flit_bits,
-        warmup_cycles=args.warmup,
-        measure_cycles=args.measure,
-        max_cycles=max(50_000, 20 * (args.warmup + args.measure)),
-        seed=args.seed,
-    )
-    if args.workload in PARSEC_NAMES:
-        traffic = parsec_traffic(args.workload, args.n, rng=args.seed)
-    else:
-        traffic = SyntheticTraffic(
-            make_pattern(args.workload, args.n),
-            rate=args.rate,
-            rng=args.seed,
+    with _obs_session(args) as obs:
+        design = _design_for(args.scheme, args.n, args.seed, args.effort)
+        cfg = SimConfig(
+            flit_bits=design.point.flit_bits,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            max_cycles=max(50_000, 20 * (args.warmup + args.measure)),
+            seed=args.seed,
         )
-    result = Simulator(
-        design.topology, cfg, traffic, obs=obs,
-        metrics_every=args.metrics_every, engine=args.engine,
-    ).run()
-    s = result.summary
-    print(f"{design.name} on {args.n}x{args.n}, workload={args.workload}")
-    print(f"  packets measured: {s.packets} (drained: {result.drained})")
-    print(f"  avg network latency: {s.avg_network_latency:.2f} cycles")
-    print(f"  avg head latency:    {s.avg_head_latency:.2f} cycles")
-    print(f"  avg serialization:   {s.avg_serialization_latency:.2f} cycles")
-    print(f"  throughput:          {s.throughput_packets_per_cycle:.3f} packets/cycle")
-    _finish_obs(obs, args)
+        ledger = _ledger_for(args)
+        ledger_params = {
+            "n": args.n, "scheme": args.scheme, "workload": args.workload,
+            "rate": args.rate, "effort": args.effort, "engine": args.engine,
+        }
+        run_id = None
+        if ledger is not None:
+            run_id = ledger.run_id_for(
+                "simulate", ledger_params, cfg, args.seed
+            )
+            if obs is not None:
+                obs.set_context(run_id=run_id)
+        if args.workload in PARSEC_NAMES:
+            traffic = parsec_traffic(args.workload, args.n, rng=args.seed)
+        else:
+            traffic = SyntheticTraffic(
+                make_pattern(args.workload, args.n),
+                rate=args.rate,
+                rng=args.seed,
+            )
+        start = time.perf_counter()
+        result = Simulator(
+            design.topology, cfg, traffic, obs=obs,
+            metrics_every=args.metrics_every, engine=args.engine,
+        ).run()
+        wall = time.perf_counter() - start
+        s = result.summary
+        print(f"{design.name} on {args.n}x{args.n}, workload={args.workload}")
+        print(f"  packets measured: {s.packets} (drained: {result.drained})")
+        print(f"  avg network latency: {s.avg_network_latency:.2f} cycles")
+        print(f"  avg head latency:    {s.avg_head_latency:.2f} cycles")
+        print(f"  avg serialization:   {s.avg_serialization_latency:.2f} cycles")
+        print(f"  throughput:          {s.throughput_packets_per_cycle:.3f} packets/cycle")
+        _record_run(
+            ledger, obs, run_id, "simulate", ledger_params, cfg, args.seed,
+            wall,
+            results={
+                "packets": s.packets,
+                "drained": result.drained,
+                "cycles_run": result.cycles_run,
+                "avg_network_latency": s.avg_network_latency,
+                "throughput_packets_per_cycle": s.throughput_packets_per_cycle,
+            },
+            result_digest=_run_result_digest(result),
+        )
+        _finish_obs(obs, args)
     return 0
 
 
@@ -281,54 +459,170 @@ def _design_for(scheme: str, n: int, seed: int, effort: str):
 def _cmd_simulate_sweep(args: argparse.Namespace) -> int:
     from repro.sim.campaign import campaign_grid, run_campaign
 
-    obs = _make_obs(args)
-    designs = [
-        _design_for(s.strip(), args.n, args.seed, args.effort)
-        for s in args.schemes.split(",") if s.strip()
-    ]
-    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
-    try:
-        rates = [float(r) for r in args.rates.split(",") if r.strip()]
-    except ValueError as exc:
-        print(f"error: bad --rates value: {exc}", file=sys.stderr)
-        return 2
-    grid = campaign_grid(
-        designs, patterns, rates, base_seed=args.seed,
-        seeds_per_point=args.seeds, warmup=args.warmup,
-        measure=args.measure, engine=args.engine,
-    )
-    campaign = run_campaign(grid, jobs=args.jobs, obs=obs)
-    rows = []
-    for job, res in zip(campaign.jobs, campaign.results):
-        scheme, pattern, rate, seed_i = job.key
-        s = res.run.summary
-        rows.append([
-            scheme, pattern, rate, seed_i, s.packets,
-            s.avg_network_latency, s.throughput_packets_per_cycle,
-            res.run.cycles_run, "yes" if res.run.drained else "NO",
-        ])
-    print(render_table(
-        f"Simulation campaign: {args.n}x{args.n}, "
-        f"{len(designs)} scheme(s) x {len(patterns)} pattern(s) x "
-        f"{len(rates)} rate(s) x {args.seeds} seed(s)",
-        ["scheme", "pattern", "rate", "seed", "packets", "latency",
-         "thr (pkt/cyc)", "cycles", "drained"],
-        rows,
-        digits=6,
-    ))
-    print(f"\n{len(grid)} runs on {args.jobs} job(s), engine={args.engine} "
-          "(results identical for every --jobs value)")
-    _finish_obs(obs, args)
+    with _obs_session(args) as obs:
+        designs = [
+            _design_for(s.strip(), args.n, args.seed, args.effort)
+            for s in args.schemes.split(",") if s.strip()
+        ]
+        patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+        try:
+            rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        except ValueError as exc:
+            print(f"error: bad --rates value: {exc}", file=sys.stderr)
+            return 2
+        ledger = _ledger_for(args)
+        ledger_params = {
+            "n": args.n, "schemes": args.schemes, "patterns": args.patterns,
+            "rates": args.rates, "seeds": args.seeds, "warmup": args.warmup,
+            "measure": args.measure, "effort": args.effort,
+            "engine": args.engine,
+        }
+        run_id = None
+        if ledger is not None:
+            run_id = ledger.run_id_for(
+                "campaign", ledger_params, None, args.seed
+            )
+            if obs is not None:
+                obs.set_context(run_id=run_id)
+        grid = campaign_grid(
+            designs, patterns, rates, base_seed=args.seed,
+            seeds_per_point=args.seeds, warmup=args.warmup,
+            measure=args.measure, engine=args.engine,
+        )
+        start = time.perf_counter()
+        campaign = run_campaign(grid, jobs=args.jobs, obs=obs)
+        wall = time.perf_counter() - start
+        rows = []
+        for job, res in zip(campaign.jobs, campaign.results):
+            scheme, pattern, rate, seed_i = job.key
+            s = res.run.summary
+            rows.append([
+                scheme, pattern, rate, seed_i, s.packets,
+                s.avg_network_latency, s.throughput_packets_per_cycle,
+                res.run.cycles_run, "yes" if res.run.drained else "NO",
+            ])
+        print(render_table(
+            f"Simulation campaign: {args.n}x{args.n}, "
+            f"{len(designs)} scheme(s) x {len(patterns)} pattern(s) x "
+            f"{len(rates)} rate(s) x {args.seeds} seed(s)",
+            ["scheme", "pattern", "rate", "seed", "packets", "latency",
+             "thr (pkt/cyc)", "cycles", "drained"],
+            rows,
+            digits=6,
+        ))
+        print(f"\n{len(grid)} runs on {args.jobs} job(s), engine={args.engine} "
+              "(results identical for every --jobs value)")
+        _record_run(
+            ledger, obs, run_id, "campaign", ledger_params, None, args.seed,
+            wall,
+            results={
+                "runs": len(grid),
+                "drained": all(r.run.drained for r in campaign.results),
+            },
+            result_digest=_run_result_digest(
+                *(r.run for r in campaign.results)
+            ),
+        )
+        _finish_obs(obs, args)
     return 0
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     try:
-        print(report_file(args.trace, k=args.top))
+        print(report_file(
+            args.trace, k=args.top,
+            by_worker=args.by_worker, by_task=args.by_task,
+        ))
     except (OSError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger or LEDGER_ROOT)
+    try:
+        if args.runs_action == "list":
+            print(render_runs_table(ledger.list()))
+        elif args.runs_action == "show":
+            print(json.dumps(ledger.load(args.run_id), indent=2,
+                             sort_keys=True))
+        else:  # diff
+            a, b = ledger.load(args.run_a), ledger.load(args.run_b)
+            lines = diff_manifests(a, b)
+            if lines:
+                print(f"{a['run_id']} vs {b['run_id']}:")
+                print("\n".join(lines))
+                if any(line.startswith("  result_digest") for line in lines):
+                    same = diff_manifests(
+                        {k: a.get(k) for k in ("kind", "seed", "params",
+                                               "config")},
+                        {k: b.get(k) for k in ("kind", "seed", "params",
+                                               "config")},
+                    )
+                    if not same:
+                        print("\nWARNING: identical identities produced "
+                              "different result digests -- determinism bug")
+                        return 1
+            else:
+                print(f"{a['run_id']} and {b['run_id']} are identical in "
+                      "identity and outcome")
+    except (OSError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import render_prometheus
+
+    ledger = RunLedger(args.ledger or LEDGER_ROOT)
+    try:
+        manifest = ledger.load(args.run_id)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snapshot = manifest.get("metrics") or {}
+    if args.format == "json":
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_prometheus(
+            snapshot, labels={"run_id": manifest["run_id"],
+                              "kind": manifest.get("kind", "?")},
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.out} ({args.format})")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs.regress import (
+        compare_dirs,
+        render_bench_report,
+        report_to_dict,
+    )
+
+    try:
+        comps, unpaired = compare_dirs(
+            args.baseline, args.candidate, threshold=args.threshold
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_bench_report(
+        comps, unpaired, args.threshold, args.baseline, args.candidate
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report_to_dict(comps, unpaired, args.threshold), fh,
+                      indent=2)
+            fh.write("\n")
+        print(f"\nreport written to {args.json}")
+    return 1 if any(c.regressed for c in comps) else 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -486,7 +780,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, metavar="K",
         help="entries per ranked section (spans, link utilization)",
     )
+    p.add_argument(
+        "--by-worker", action="store_true",
+        help="add the per-worker timeline and critical-path sections "
+        "(merged --jobs K traces)",
+    )
+    p.add_argument(
+        "--by-task", action="store_true",
+        help="add the per-task breakdown keyed by stamped grid coordinates",
+    )
     p.set_defaults(func=_cmd_trace_report)
+
+    p = sub.add_parser(
+        "runs", help="query the run ledger written by --ledger"
+    )
+    p.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help=f"ledger root (default {LEDGER_ROOT})",
+    )
+    runs_sub = p.add_subparsers(dest="runs_action", required=True)
+    rp = runs_sub.add_parser("list", help="list recorded runs")
+    rp.set_defaults(func=_cmd_runs)
+    rp = runs_sub.add_parser("show", help="print one run's manifest as JSON")
+    rp.add_argument("run_id", help="run id (unique prefixes resolve)")
+    rp.set_defaults(func=_cmd_runs)
+    rp = runs_sub.add_parser(
+        "diff", help="field-level diff of two run manifests"
+    )
+    rp.add_argument("run_a")
+    rp.add_argument("run_b")
+    rp.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser(
+        "metrics-export",
+        help="render a recorded run's metrics (prometheus textfile or JSON)",
+    )
+    p.add_argument("run_id", help="run id from the ledger (prefix ok)")
+    p.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+    )
+    p.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help=f"ledger root (default {LEDGER_ROOT})",
+    )
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write to PATH instead of stdout")
+    p.set_defaults(func=_cmd_metrics_export)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="compare two benchmark results directories; fail on regressions",
+    )
+    p.add_argument("baseline", help="baseline results dir (JSON twins)")
+    p.add_argument("candidate", help="candidate results dir (JSON twins)")
+    p.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative noise threshold (default 0.25 = 25%%)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the comparison as a JSON artifact",
+    )
+    p.set_defaults(func=_cmd_bench_report)
 
     return parser
 

@@ -555,6 +555,8 @@ def anneal(
         m.counter("sa.memo_misses").inc(memo.misses)
         m.gauge("sa.memo_hit_ratio").set(memo.hit_ratio)
         m.gauge("sa.best_energy").set(best_energy)
+        # Wall-derived rate: excluded from the deterministic summary.
+        m.meter("sa.move_rate").add(moves_done, time.perf_counter() - start)
         if engine is not None:
             m.counter("sa.eval.incremental").inc(incremental_evals)
             m.counter("sa.eval.full").inc(full_evals)
@@ -816,6 +818,7 @@ def anneal_population(
             m.counter("sa.memo_misses").inc(c.memo.misses)
             m.gauge("sa.memo_hit_ratio").set(c.memo.hit_ratio)
             m.gauge("sa.best_energy").set(c.best_energy)
+            m.meter("sa.move_rate").add(c.moves_done, wall)
         results.append(AnnealingResult(
             best_placement=c.best_placement,
             best_energy=c.best_energy,

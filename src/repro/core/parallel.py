@@ -97,6 +97,11 @@ class TaskResult:
     events: List[dict]
     metrics: dict
 
+    @property
+    def obs_key(self) -> Tuple:
+        """Grid coordinate used as the deterministic gauge-merge key."""
+        return (self.link_limit, self.restart)
+
 
 def _chain_groups(restarts: int, chains: int) -> List[Tuple[int, ...]]:
     """Split restart indices into consecutive lockstep groups.
@@ -120,6 +125,7 @@ def _run_single(task: SearchTask, restart: int) -> TaskResult:
     # here must compare against None explicitly.
     sink = MemorySink() if task.capture_events else None
     obs = Instrumentation(sinks=[] if sink is None else [sink])
+    obs.set_context(task=[task.link_limit, restart])
     objective = RowObjective(
         cost=task.cost,
         weights=task.weights,
@@ -162,6 +168,7 @@ def _run_population(task: SearchTask) -> List[TaskResult]:
     """
     sink = MemorySink() if task.capture_events else None
     obs = Instrumentation(sinks=[] if sink is None else [sink])
+    obs.set_context(task=[task.link_limit, list(task.restarts)])
     objective = RowObjective(
         cost=task.cost,
         weights=task.weights,
@@ -327,13 +334,19 @@ def _require_base_seed(base_seed) -> int:
 def _merge_observability(
     obs: Instrumentation, results: Sequence[TaskResult]
 ) -> None:
-    """Fold worker events/metrics into the parent, in task order."""
+    """Fold worker events/metrics into the parent, in task order.
+
+    Gauge conflicts resolve by each result's grid coordinate
+    (``obs_key``), not arrival order, so the merged registry is a pure
+    function of the result *set* -- permuting worker completion (or
+    even the merge order itself) cannot change the summary.
+    """
     if obs.is_null:
         return
     for worker, res in enumerate(results):
         if obs.enabled and res.events:
             obs.replay(res.events, worker=worker)
-        obs.metrics.merge(res.metrics)
+        obs.metrics.merge(res.metrics, key=getattr(res, "obs_key", None) or (worker,))
 
 
 def _build_tasks(

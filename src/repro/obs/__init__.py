@@ -12,11 +12,32 @@ Usage::
 With no sink attached (or ``obs=None``, the default everywhere) the
 instrumented code paths reduce to one boolean check and results are
 bit-identical to the uninstrumented library.
+
+Three further pillars build on this core:
+
+* the run ledger (:mod:`repro.obs.ledger`) -- content-addressed
+  manifests under ``.repro/runs/``, queryable via ``repro runs``,
+* cross-process trace correlation -- ``run_id`` / ``worker`` / ``task``
+  stamps plus span ids, rendered by ``repro trace-report --by-worker``
+  / ``--by-task``,
+* perf-regression telemetry (:mod:`repro.obs.regress`) -- ``repro
+  bench-report`` compares benchmark JSON twins; ``repro
+  metrics-export`` renders recorded metrics as Prometheus text.
 """
 
 from repro.obs.events import Event, EventBus
 from repro.obs.instrument import NULL, Instrumentation, ensure_obs
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.ledger import RunLedger, RunRecord, compute_run_id, digest_parts
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Quantile,
+    RateMeter,
+    render_prometheus,
+)
+from repro.obs.regress import compare_dirs, render_bench_report
 from repro.obs.sinks import JsonlSink, MemorySink, StderrSummarySink
 from repro.obs.spans import SpanRecorder, SpanStats, render_profile
 from repro.obs.trace_report import (
@@ -34,7 +55,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantile",
+    "RateMeter",
     "MetricsRegistry",
+    "render_prometheus",
+    "RunLedger",
+    "RunRecord",
+    "compute_run_id",
+    "digest_parts",
+    "compare_dirs",
+    "render_bench_report",
     "JsonlSink",
     "MemorySink",
     "StderrSummarySink",

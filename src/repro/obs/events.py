@@ -48,9 +48,16 @@ class Event:
 
 
 class EventBus:
-    """Fans events out to zero or more sinks, in order."""
+    """Fans events out to zero or more sinks, in order.
 
-    __slots__ = ("sinks", "enabled", "_seq", "_t0")
+    ``context`` holds correlation stamps (``run_id``, ``worker``, the
+    task grid coordinates) folded into every emitted payload.  Stamps
+    never overwrite keys the producer set explicitly, so replayed
+    worker events keep their worker-side coordinates while gaining the
+    parent's ``run_id``.
+    """
+
+    __slots__ = ("sinks", "enabled", "_seq", "_t0", "context")
 
     def __init__(self) -> None:
         self.sinks: List = []
@@ -59,6 +66,8 @@ class EventBus:
         self.enabled = False
         self._seq = 0
         self._t0 = time.perf_counter()
+        #: Correlation stamps merged into every payload (see class doc).
+        self.context: Dict = {}
 
     def attach(self, sink) -> None:
         """Register ``sink`` (any object with ``handle(event)``)."""
@@ -74,6 +83,8 @@ class EventBus:
         """Deliver one event to every sink; no-op with no sinks."""
         if not self.enabled:
             return
+        if self.context:
+            payload = {**self.context, **payload}
         event = Event(
             kind=kind,
             seq=self._seq,

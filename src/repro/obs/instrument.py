@@ -48,6 +48,22 @@ class Instrumentation:
     def attach(self, sink) -> None:
         self.bus.attach(sink)
 
+    def set_context(self, **stamps) -> None:
+        """Stamp correlation fields onto every subsequent event.
+
+        ``run_id``, ``worker`` and ``task`` (the grid coordinates of a
+        worker's unit of work) are the conventional keys; a ``None``
+        value removes the stamp.  Stamps never overwrite keys a
+        producer passes explicitly, so replayed worker events keep
+        their worker-side coordinates while gaining the parent's
+        ``run_id``.
+        """
+        for key, value in stamps.items():
+            if value is None:
+                self.bus.context.pop(key, None)
+            else:
+                self.bus.context[key] = value
+
     def emit(self, kind: str, move: Optional[int] = None,
              cycle: Optional[int] = None, **payload) -> None:
         self.bus.emit(kind, move=move, cycle=cycle, **payload)
@@ -61,14 +77,17 @@ class Instrumentation:
         payload with its ``worker`` index.  Replayed events get fresh
         ``seq`` / ``wall_time`` stamps from this bus, so a merged trace
         stays monotone and ``trace-report`` keeps working under
-        ``--jobs K``.
+        ``--jobs K``.  Worker-side stamps (the ``task`` coordinates,
+        ``span_id`` links) ride inside the payloads untouched, which is
+        what keeps span parent/child relationships attributable after
+        the merge.
         """
         if not self.enabled:
             return
         for ev in events:
             payload = dict(ev.get("payload", ()))
             if worker is not None:
-                payload["worker"] = worker
+                payload.setdefault("worker", worker)
             self.bus.emit(
                 ev["kind"], move=ev.get("move"), cycle=ev.get("cycle"), **payload
             )

@@ -1,4 +1,4 @@
-"""Metrics registry: counters, gauges and fixed-bucket histograms.
+"""Metrics registry: counters, gauges, histograms, quantiles, meters.
 
 No third-party dependencies -- these are the minimal primitives needed
 to watch an SA run converge or a simulator saturate:
@@ -9,16 +9,40 @@ to watch an SA run converge or a simulator saturate:
 * :class:`Histogram` -- fixed upper-bound buckets with *less-or-equal*
   semantics: an observation lands in the first bucket whose bound is
   ``>= value`` (so a value exactly on a bound belongs to that bucket),
-  and anything above the last bound lands in the overflow bucket.
+  and anything above the last bound lands in the overflow bucket,
+* :class:`Quantile` -- streaming quantile estimates (P^2 algorithm, no
+  sample retention) for long-tailed distributions like packet latency,
+* :class:`RateMeter` -- a count over an elapsed wall-clock window
+  (moves/sec, cycles/sec); wall-derived and therefore excluded from
+  the replay-stable summary.
 
 The :class:`MetricsRegistry` hands out get-or-create instruments by
-name and renders a plain-text summary table.
+name and renders plain-text, JSON, and Prometheus summaries.
+
+Merge semantics (pinned, property-tested)
+-----------------------------------------
+:meth:`MetricsRegistry.merge` folds worker snapshots into a parent and
+must not depend on worker completion order:
+
+* counters and histogram bucket counts add in exact integer
+  arithmetic (commutative),
+* float accumulations (histogram/quantile/meter totals) are kept as
+  per-merge *parts* and summed with :func:`math.fsum`, whose exactly
+  rounded result is permutation-invariant,
+* quantile estimates combine as a count-weighted mean of the incoming
+  digests (again via ``fsum``),
+* gauges resolve by the **largest merge key**, not arrival order: pass
+  ``key=<task coordinate>`` and the gauge keeps the value of the
+  greatest coordinate, deterministically.  Without keys the legacy
+  incoming-wins behavior applies (only safe when merges already happen
+  in a deterministic order).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Dict, List, Sequence, Tuple
+from bisect import bisect_left, insort
+from math import fsum
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -37,9 +61,14 @@ class Counter:
 
 
 class Gauge:
-    """An instantaneous value; remembers the extremes it has seen."""
+    """An instantaneous value; remembers the extremes it has seen.
 
-    __slots__ = ("name", "value", "min", "max", "updates")
+    ``merge_rank`` tracks the largest key seen by keyed merges so the
+    merged value is a deterministic function of the contributing
+    snapshots, not of their arrival order.
+    """
+
+    __slots__ = ("name", "value", "min", "max", "updates", "merge_rank")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -47,6 +76,7 @@ class Gauge:
         self.min = float("inf")
         self.max = float("-inf")
         self.updates = 0
+        self.merge_rank = None
 
     def set(self, value: float) -> None:
         self.value = value
@@ -62,9 +92,13 @@ class Histogram:
 
     ``bounds`` are strictly increasing upper bounds; ``counts`` has
     ``len(bounds) + 1`` entries, the last being the overflow bucket.
+    The running ``total`` keeps locally observed mass separate from
+    merged-in worker totals so the combined sum (:func:`math.fsum`) is
+    invariant under merge order.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count")
+    __slots__ = ("name", "bounds", "counts", "count", "_self_total",
+                 "_merge_totals")
 
     def __init__(self, name: str, bounds: Sequence[float]) -> None:
         bounds = tuple(bounds)
@@ -75,14 +109,21 @@ class Histogram:
         self.name = name
         self.bounds: Tuple[float, ...] = bounds
         self.counts: List[int] = [0] * (len(bounds) + 1)
-        self.total = 0.0
         self.count = 0
+        self._self_total = 0.0
+        self._merge_totals: List[float] = []
 
     def observe(self, value: float) -> None:
         # bisect_left puts value == bound into that bound's bucket.
         self.counts[bisect_left(self.bounds, value)] += 1
-        self.total += value
+        self._self_total += value
         self.count += 1
+
+    @property
+    def total(self) -> float:
+        if not self._merge_totals:
+            return self._self_total
+        return fsum([self._self_total, *self._merge_totals])
 
     @property
     def mean(self) -> float:
@@ -93,6 +134,183 @@ class Histogram:
         return bisect_left(self.bounds, value)
 
 
+class P2Estimator:
+    """One streaming quantile via the P^2 algorithm (Jain & Chlamtac).
+
+    Five markers track (min, q/2, q, (1+q)/2, max); marker heights
+    adjust with a piecewise-parabolic update as observations stream in.
+    Memory is O(1) -- no samples are retained -- and the estimate is a
+    deterministic function of the observation sequence.
+    """
+
+    __slots__ = ("q", "count", "heights", "positions", "_dn")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self.heights: List[float] = []
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._dn = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        if self.count <= 5:
+            insort(self.heights, x)
+            return
+        h, n = self.heights, self.positions
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in (1, 2, 3):
+            desired = 1.0 + (self.count - 1) * self._dn[i]
+            delta = desired - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, d)
+                h[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self.heights, self.positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self.heights, self.positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float:
+        if not self.heights:
+            return 0.0
+        if self.count <= 5:
+            # Exact while the sample fits in the marker array.
+            rank = self.q * (len(self.heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(self.heights) - 1)
+            frac = rank - lo
+            return self.heights[lo] * (1.0 - frac) + self.heights[hi] * frac
+        return self.heights[2]
+
+
+class Quantile:
+    """A named set of streaming quantile estimates (no sample retention).
+
+    Local observations feed one :class:`P2Estimator` per requested
+    quantile; worker digests merged in are kept as ``(count, estimate)``
+    parts and combined as a count-weighted mean via :func:`math.fsum`,
+    so the merged summary is invariant under merge order.
+    """
+
+    DEFAULT_QS = (0.5, 0.9, 0.99)
+
+    __slots__ = ("name", "qs", "count", "min", "max", "_estimators",
+                 "_self_total", "_merge_parts")
+
+    def __init__(self, name: str, qs: Sequence[float] = ()) -> None:
+        self.name = name
+        self.qs: Tuple[float, ...] = tuple(qs) or self.DEFAULT_QS
+        if len(set(self.qs)) != len(self.qs):
+            raise ValueError(f"quantile {name} has duplicate quantiles {self.qs}")
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._estimators = {q: P2Estimator(q) for q in self.qs}
+        self._self_total = 0.0
+        #: Merged worker digests: (count, {q: estimate}, total).
+        self._merge_parts: List[Tuple[int, Dict[float, float], float]] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._self_total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for est in self._estimators.values():
+            est.observe(value)
+
+    @property
+    def total(self) -> float:
+        if not self._merge_parts:
+            return self._self_total
+        return fsum([self._self_total] + [p[2] for p in self._merge_parts])
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def estimates(self) -> Dict[float, float]:
+        """Current estimate per quantile (count-weighted across merges)."""
+        local_count = self.count - sum(p[0] for p in self._merge_parts)
+        out: Dict[float, float] = {}
+        for q in self.qs:
+            parts = []
+            if local_count > 0:
+                parts.append((local_count, self._estimators[q].estimate()))
+            for count, ests, _total in self._merge_parts:
+                if count > 0 and q in ests:
+                    parts.append((count, ests[q]))
+            weight = sum(c for c, _ in parts)
+            out[q] = (
+                fsum(c * e for c, e in parts) / weight if weight else 0.0
+            )
+        return out
+
+
+class RateMeter:
+    """A count over an elapsed wall-clock window (events per second).
+
+    Producers call :meth:`add` with the work done and the wall seconds
+    it took; the meter reports the aggregate rate.  Elapsed times are
+    wall-derived, so meters are excluded from
+    :meth:`MetricsRegistry.deterministic_summary`.
+    """
+
+    __slots__ = ("name", "count", "_self_elapsed", "_merge_elapsed")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self._self_elapsed = 0.0
+        self._merge_elapsed: List[float] = []
+
+    def add(self, count: int, elapsed_s: float) -> None:
+        if count < 0 or elapsed_s < 0:
+            raise ValueError(f"meter {self.name} cannot run backwards")
+        self.count += count
+        self._self_elapsed += elapsed_s
+
+    @property
+    def elapsed_s(self) -> float:
+        if not self._merge_elapsed:
+            return self._self_elapsed
+        return fsum([self._self_elapsed, *self._merge_elapsed])
+
+    @property
+    def rate(self) -> float:
+        elapsed = self.elapsed_s
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+
 class MetricsRegistry:
     """Named instruments, created on first use."""
 
@@ -100,6 +318,8 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.quantiles: Dict[str, Quantile] = {}
+        self.meters: Dict[str, RateMeter] = {}
 
     # -- get-or-create -------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -120,27 +340,49 @@ class MetricsRegistry:
             h = self.histograms[name] = Histogram(name, bounds)
         return h
 
+    def quantile(self, name: str, qs: Sequence[float] = ()) -> Quantile:
+        q = self.quantiles.get(name)
+        if q is None:
+            q = self.quantiles[name] = Quantile(name, qs)
+        return q
+
+    def meter(self, name: str) -> RateMeter:
+        m = self.meters.get(name)
+        if m is None:
+            m = self.meters[name] = RateMeter(name)
+        return m
+
     # -- merge ---------------------------------------------------------
-    def merge(self, snapshot: Dict) -> None:
+    def merge(self, snapshot: Dict, key=None) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        The parallel search engine runs each worker with its own
-        registry and merges the snapshots back so ``--profile`` /
-        ``--trace-out`` totals cover the whole fleet:
+        The parallel engines run each worker with its own registry and
+        merge the snapshots back so ``--profile`` / ``--trace-out``
+        totals cover the whole fleet.  Semantics (pinned by the
+        order-invariance property suite):
 
-        * counters add,
-        * gauges keep the incoming last-written value but accumulate
-          ``min`` / ``max`` / ``updates`` across both sides,
-        * histograms add bucket counts (bounds must match exactly).
-
-        Merging is associative and, applied in a deterministic worker
-        order, reproducible run to run.
+        * counters add (exact integers),
+        * histograms add bucket counts (bounds must match exactly);
+          their float totals accumulate as parts summed by
+          :func:`math.fsum`, whose exactly rounded result does not
+          depend on merge order,
+        * quantile digests combine as count-weighted means (``fsum``),
+        * meters add counts and ``fsum`` their elapsed windows,
+        * gauges: with a ``key`` the merged value belongs to the
+          snapshot with the **largest key** (e.g. the task grid
+          coordinate) -- a deterministic resolution no matter the
+          completion or merge order; without a key the incoming value
+          wins (legacy, order-sensitive).  ``min`` / ``max`` /
+          ``updates`` accumulate commutatively either way.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, data in snapshot.get("gauges", {}).items():
             g = self.gauge(name)
-            g.value = data["value"]
+            if key is None or g.merge_rank is None or key >= g.merge_rank:
+                g.value = data["value"]
+                if key is not None:
+                    g.merge_rank = key
             g.min = min(g.min, data["min"])
             g.max = max(g.max, data["max"])
             g.updates += data["updates"]
@@ -156,12 +398,29 @@ class MetricsRegistry:
             for i, c in enumerate(data["counts"]):
                 h.counts[i] += c
             h.count += data["count"]
-            h.total += data["mean"] * data["count"]
+            h._merge_totals.append(
+                data["total"] if "total" in data else data["mean"] * data["count"]
+            )
+        for name, data in snapshot.get("quantiles", {}).items():
+            q = self.quantile(name, tuple(float(x) for x in data["qs"]))
+            count = data["count"]
+            q.count += count
+            q.min = min(q.min, data["min"])
+            q.max = max(q.max, data["max"])
+            q._merge_parts.append((
+                count,
+                {float(k): v for k, v in data["estimates"].items()},
+                data["total"],
+            ))
+        for name, data in snapshot.get("meters", {}).items():
+            m = self.meter(name)
+            m.count += data["count"]
+            m._merge_elapsed.append(data["elapsed_s"])
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict:
         """JSON-ready dump of every instrument."""
-        return {
+        out = {
             "counters": {n: c.value for n, c in self.counters.items()},
             "gauges": {
                 n: {"value": g.value, "min": g.min, "max": g.max,
@@ -170,9 +429,40 @@ class MetricsRegistry:
             },
             "histograms": {
                 n: {"bounds": list(h.bounds), "counts": list(h.counts),
-                    "count": h.count, "mean": h.mean}
+                    "count": h.count, "total": h.total, "mean": h.mean}
                 for n, h in self.histograms.items()
             },
+        }
+        if self.quantiles:
+            out["quantiles"] = {
+                n: {"qs": list(q.qs),
+                    "estimates": {repr(k): v for k, v in q.estimates().items()},
+                    "count": q.count, "min": q.min, "max": q.max,
+                    "total": q.total}
+                for n, q in self.quantiles.items() if q.count
+            }
+        if self.meters:
+            out["meters"] = {
+                n: {"count": m.count, "elapsed_s": m.elapsed_s, "rate": m.rate}
+                for n, m in self.meters.items() if m.count
+            }
+        return out
+
+    def deterministic_summary(self) -> Dict:
+        """The replay-stable slice of the snapshot.
+
+        Counters, histograms and quantile digests are pure functions of
+        the (deterministic) observation sequences, so for a fixed seed
+        they are identical across ``--jobs`` values and across reruns.
+        Gauges (execution-shape values like ``parallel.jobs``) and rate
+        meters (wall-derived) are excluded.  The run ledger records
+        this slice so manifests can be diffed across machines.
+        """
+        snap = self.snapshot()
+        return {
+            "counters": dict(sorted(snap["counters"].items())),
+            "histograms": dict(sorted(snap["histograms"].items())),
+            "quantiles": dict(sorted(snap.get("quantiles", {}).items())),
         }
 
     def render(self) -> str:
@@ -193,6 +483,99 @@ class MetricsRegistry:
                 f"  histogram {name:<28} n={h.count} mean={h.mean:.3f} "
                 f"buckets={list(zip(list(h.bounds) + ['inf'], h.counts))}"
             )
+        for name in sorted(self.quantiles):
+            q = self.quantiles[name]
+            if q.count:
+                ests = " ".join(
+                    f"p{int(k * 100)}={v:.3f}" for k, v in q.estimates().items()
+                )
+                lines.append(
+                    f"  quantile  {name:<28} n={q.count} {ests} "
+                    f"(min {q.min:g}, max {q.max:g})"
+                )
+        for name in sorted(self.meters):
+            m = self.meters[name]
+            if m.count:
+                lines.append(
+                    f"  meter     {name:<28} {m.rate:,.1f}/s "
+                    f"({m.count} over {m.elapsed_s:.3f}s)"
+                )
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    clean = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{clean}" if prefix else clean
+
+
+def _prom_labels(labels: Optional[Dict[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in (labels or {}).items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(
+    snapshot: Dict,
+    prefix: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    exposition format (the node-exporter textfile-collector dialect).
+
+    Counters map to ``counter``, gauges to ``gauge``, fixed-bucket
+    histograms to cumulative ``le``-labelled ``histogram`` series,
+    quantile digests to ``summary`` series, and rate meters to a
+    ``gauge`` rate plus a ``counter`` total.  ``labels`` (typically
+    ``{"run_id": ...}``) attach to every sample.
+    """
+    lines: List[str] = []
+    base = _prom_labels(labels)
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{base} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name, prefix)
+        data = snapshot["gauges"][name]
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{base} {data['value']:g}")
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = _prom_name(name, prefix)
+        data = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            le = 'le="%g"' % bound
+            lines.append(f"{metric}_bucket{_prom_labels(labels, le)} {cumulative}")
+        inf = 'le="+Inf"'
+        lines.append(f"{metric}_bucket{_prom_labels(labels, inf)} {data['count']}")
+        total = data.get("total", data.get("mean", 0.0) * data["count"])
+        lines.append(f"{metric}_sum{base} {total:g}")
+        lines.append(f"{metric}_count{base} {data['count']}")
+    for name in sorted(snapshot.get("quantiles", {})):
+        metric = _prom_name(name, prefix)
+        data = snapshot["quantiles"][name]
+        lines.append(f"# TYPE {metric} summary")
+        for q, est in sorted(
+            (float(k), v) for k, v in data["estimates"].items()
+        ):
+            ql = 'quantile="%g"' % q
+            lines.append(f"{metric}{_prom_labels(labels, ql)} {est:g}")
+        lines.append(f"{metric}_sum{base} {data['total']:g}")
+        lines.append(f"{metric}_count{base} {data['count']}")
+    for name in sorted(snapshot.get("meters", {})):
+        metric = _prom_name(name, prefix)
+        data = snapshot["meters"][name]
+        lines.append(f"# TYPE {metric}_rate gauge")
+        lines.append(f"{metric}_rate{base} {data['rate']:g}")
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total{base} {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

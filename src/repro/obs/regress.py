@@ -1,0 +1,199 @@
+"""Perf-regression telemetry: compare two sets of benchmark JSON twins.
+
+Every benchmark leg publishes a machine-readable JSON twin next to its
+text table (see ``benchmarks/conftest.py``): a flat object of numeric
+measurements (``scalar_wall_s``, ``speedup``, ...) plus provenance
+(``name``, ``git_sha``, ``timestamp``).  This module pairs the twins of
+a *baseline* directory with those of a *candidate* directory by
+benchmark name, compares every shared numeric leg, and classifies each
+as improved / unchanged / regressed against a noise threshold --
+``repro bench-report`` renders the table and exits non-zero on any
+regression, which is what makes it a CI leg.
+
+Direction is inferred from the key name:
+
+* keys containing ``wall`` or ending in ``_s`` are time-like -- higher
+  is worse,
+* keys containing ``speedup``, ``per_sec`` or ``rate`` are throughput-
+  like -- lower is worse,
+* anything else (counts, sizes, problem parameters) is compared for
+  information only and never fails the report.
+
+The default threshold of 25% absorbs the run-to-run noise of paired
+best-of-rounds wall times on shared CI machines; tighten it locally
+with ``--threshold``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+#: Provenance keys never compared as measurements.
+PROVENANCE_KEYS = frozenset({"name", "git_sha", "timestamp", "effort"})
+
+
+def _direction(key: str) -> Optional[str]:
+    """``"lower"``/``"higher"`` = better, ``None`` = informational."""
+    k = key.lower()
+    if "speedup" in k or "per_sec" in k or "rate" in k:
+        return "higher"
+    if "wall" in k or k.endswith("_s") or "seconds" in k or "time" in k:
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One (benchmark, measurement) pair across baseline and candidate."""
+
+    bench: str
+    key: str
+    baseline: float
+    candidate: float
+    direction: Optional[str]  # "lower" | "higher" | None (informational)
+    ratio: float              # candidate / baseline (inf when baseline=0)
+    verdict: str              # "ok" | "improved" | "REGRESSED" | "info"
+
+    @property
+    def regressed(self) -> bool:
+        return self.verdict == "REGRESSED"
+
+
+def load_results_dir(path: str) -> Dict[str, Dict]:
+    """Every ``*.json`` twin in ``path``, keyed by benchmark name."""
+    if not os.path.isdir(path):
+        raise ConfigurationError(f"results directory not found: {path}")
+    out: Dict[str, Dict] = {}
+    for entry in sorted(os.listdir(path)):
+        if not entry.endswith(".json"):
+            continue
+        full = os.path.join(path, entry)
+        try:
+            with open(full, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot read {full}: {exc}") from exc
+        if isinstance(data, dict):
+            out[data.get("name", entry[:-5])] = data
+    return out
+
+
+def compare_records(
+    name: str, baseline: Dict, candidate: Dict, threshold: float
+) -> List[Comparison]:
+    """Compare every shared numeric leg of one benchmark twin."""
+    comps: List[Comparison] = []
+    for key in sorted(set(baseline) & set(candidate)):
+        if key in PROVENANCE_KEYS:
+            continue
+        va, vb = baseline[key], candidate[key]
+        if isinstance(va, bool) or isinstance(vb, bool):
+            continue
+        if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+            continue
+        direction = _direction(key)
+        ratio = (vb / va) if va else float("inf") if vb else 1.0
+        if direction is None:
+            verdict = "info" if va == vb else "CHANGED"
+        elif direction == "lower":
+            if ratio > 1.0 + threshold:
+                verdict = "REGRESSED"
+            elif ratio < 1.0 - threshold:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+        else:  # higher is better
+            if ratio < 1.0 / (1.0 + threshold):
+                verdict = "REGRESSED"
+            elif ratio > 1.0 + threshold:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+        comps.append(Comparison(
+            bench=name, key=key, baseline=float(va), candidate=float(vb),
+            direction=direction, ratio=float(ratio), verdict=verdict,
+        ))
+    return comps
+
+
+def compare_dirs(
+    baseline_dir: str, candidate_dir: str, threshold: float = 0.25
+) -> Tuple[List[Comparison], List[str]]:
+    """Compare two results directories.
+
+    Returns the comparisons for every benchmark present in both, plus
+    the names present on only one side (reported, never failing --
+    adding a benchmark must not break the report).
+    """
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    baseline = load_results_dir(baseline_dir)
+    candidate = load_results_dir(candidate_dir)
+    comps: List[Comparison] = []
+    for name in sorted(set(baseline) & set(candidate)):
+        comps.extend(
+            compare_records(name, baseline[name], candidate[name], threshold)
+        )
+    unpaired = sorted(set(baseline) ^ set(candidate))
+    return comps, unpaired
+
+
+def render_bench_report(
+    comps: List[Comparison],
+    unpaired: List[str],
+    threshold: float,
+    baseline_dir: str,
+    candidate_dir: str,
+) -> str:
+    """The pass/fail table ``repro bench-report`` prints."""
+    lines = [
+        f"Benchmark comparison: {baseline_dir} (baseline) vs "
+        f"{candidate_dir} (candidate), threshold {threshold * 100:.0f}%",
+        "",
+        f"  {'benchmark':<32} {'measurement':<22} {'baseline':>12} "
+        f"{'candidate':>12} {'ratio':>7}  verdict",
+    ]
+    measured = [c for c in comps if c.direction is not None]
+    info = [c for c in comps if c.direction is None]
+    for c in measured + info:
+        lines.append(
+            f"  {c.bench:<32} {c.key:<22} {c.baseline:>12.6g} "
+            f"{c.candidate:>12.6g} {c.ratio:>7.3f}  {c.verdict}"
+        )
+    if not comps:
+        lines.append("  (no shared benchmarks)")
+    for name in unpaired:
+        lines.append(f"  {name:<32} {'-':<22} {'present on one side only':>34}")
+    regressed = sum(c.regressed for c in comps)
+    improved = sum(c.verdict == "improved" for c in comps)
+    ok = sum(c.verdict == "ok" for c in comps)
+    lines.append("")
+    lines.append(
+        f"{len(measured)} measurement(s): {ok} within threshold, "
+        f"{improved} improved, {regressed} regressed"
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(
+    comps: List[Comparison], unpaired: List[str], threshold: float
+) -> Dict:
+    """JSON artifact form of the report (for CI upload)."""
+    return {
+        "threshold": threshold,
+        "regressions": sum(c.regressed for c in comps),
+        "comparisons": [
+            {
+                "bench": c.bench, "key": c.key, "baseline": c.baseline,
+                "candidate": c.candidate, "direction": c.direction,
+                "ratio": c.ratio, "verdict": c.verdict,
+            }
+            for c in comps
+        ],
+        "unpaired": list(unpaired),
+    }

@@ -50,6 +50,11 @@ class JsonlSink:
     Accepts a path (opened lazily, closed by ``close()``) or an
     already-open text file object (left open on ``close()`` unless it
     was opened here).
+
+    Also a context manager: ``with JsonlSink(path) as sink: ...``
+    guarantees the file is flushed and closed even when the
+    instrumented run raises, so a trace written up to a crash stays
+    readable by ``repro trace-report``.  The exception propagates.
     """
 
     def __init__(self, path_or_file) -> None:
@@ -76,6 +81,13 @@ class JsonlSink:
             if self._owns:
                 self._file.close()
                 self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 class StderrSummarySink:

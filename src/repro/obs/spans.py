@@ -48,16 +48,23 @@ NULL_SPAN = _NullSpan()
 class Span:
     """One live timing region; created by :meth:`SpanRecorder.span`."""
 
-    __slots__ = ("_recorder", "name", "_start", "_child_s")
+    __slots__ = ("_recorder", "name", "_start", "_child_s", "span_id",
+                 "parent_id")
 
     def __init__(self, recorder: "SpanRecorder", name: str) -> None:
         self._recorder = recorder
         self.name = name
         self._start = 0.0
         self._child_s = 0.0
+        self.span_id = 0
+        self.parent_id: "int | None" = None
 
     def __enter__(self) -> "Span":
-        self._recorder._stack.append(self)
+        rec = self._recorder
+        self.span_id = rec._next_id
+        rec._next_id += 1
+        self.parent_id = rec._stack[-1].span_id if rec._stack else None
+        rec._stack.append(self)
         self._start = time.perf_counter()
         return self
 
@@ -78,8 +85,16 @@ class Span:
             rec._stack[-1]._child_s += elapsed
         bus = rec.bus
         if bus is not None and bus.enabled:
-            bus.emit("span", name=self.name,
-                     elapsed_s=round(elapsed, 9), depth=depth)
+            # span_id / parent_span_id tie the completed-span events
+            # back into a tree (span events fire at *exit*, so a parent
+            # always appears after its children in the stream).  Ids
+            # are recorder-local, monotone in entry order; merged
+            # multi-worker traces disambiguate by the worker stamp.
+            payload = {"name": self.name, "elapsed_s": round(elapsed, 9),
+                       "depth": depth, "span_id": self.span_id}
+            if self.parent_id is not None:
+                payload["parent_span_id"] = self.parent_id
+            bus.emit("span", **payload)
         return False
 
 
@@ -90,6 +105,7 @@ class SpanRecorder:
         self.stats: Dict[str, SpanStats] = {}
         self.bus = bus
         self._stack: List[Span] = []
+        self._next_id = 0
 
     def span(self, name: str) -> Span:
         return Span(self, name)

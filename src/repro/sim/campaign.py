@@ -131,6 +131,11 @@ class JobResult:
     events: List[dict]
     metrics: dict
 
+    @property
+    def obs_key(self) -> Tuple:
+        """Job coordinate used as the deterministic gauge-merge key."""
+        return self.key
+
 
 @dataclass
 class CampaignResult:
@@ -157,6 +162,8 @@ def _run_job(job: SimJob) -> JobResult:
     """Execute one job (module-level so it pickles for pool workers)."""
     sink = MemorySink() if job.capture_events else None
     obs = Instrumentation(sinks=[] if sink is None else [sink])
+    if job.key:
+        obs.set_context(task=list(job.key))
     topology = job.design.topology
     traffic = job.traffic.build(job.design.point.n, job.seed)
     sim = Simulator(

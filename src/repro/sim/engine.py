@@ -30,6 +30,8 @@ assertion.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from dataclasses import dataclass
 from typing import Optional, Protocol
@@ -185,6 +187,7 @@ class Simulator:
             and heartbeat == 0
         )
         next_packet_cycle = getattr(self.traffic, "next_packet_cycle", None)
+        wall_start = time.perf_counter()
         idle_streak = 0
         cycles_skipped = 0
         cycle = 0
@@ -256,6 +259,17 @@ class Simulator:
             m.counter("sim.cycles_skipped").inc(cycles_skipped)
             m.counter("sim.packets_created").inc(self.stats.created_total)
             m.counter("sim.packets_done").inc(self.stats.done_total)
+            if self.stats.measured:
+                # Packet latencies are deterministic cycle counts, so
+                # the streaming quantile digest is replay-stable and
+                # belongs in the ledger's deterministic summary.
+                q = m.quantile("sim.packet_latency")
+                for pkt in self.stats.measured:
+                    q.observe(pkt.network_latency)
+            # Wall-derived: excluded from the deterministic summary.
+            m.meter("sim.cycle_rate").add(
+                cycle + 1, time.perf_counter() - wall_start
+            )
         return RunResult(
             summary=self.stats.summary(cycle + 1),
             cycles_run=cycle + 1,

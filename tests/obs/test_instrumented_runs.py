@@ -260,7 +260,14 @@ class TestParallelDeterminism:
     def test_same_seed_same_jobs_identical_merged_metrics(self):
         _, obs_a = self.run_parallel(2, MemorySink())
         _, obs_b = self.run_parallel(2, MemorySink())
-        assert obs_a.metrics.snapshot() == obs_b.metrics.snapshot()
+        snap_a, snap_b = obs_a.metrics.snapshot(), obs_b.metrics.snapshot()
+        # Rate meters are wall-derived and legitimately vary between
+        # reruns; everything else must be bit-identical.
+        snap_a.pop("meters", None)
+        snap_b.pop("meters", None)
+        assert snap_a == snap_b
+        assert (obs_a.metrics.deterministic_summary()
+                == obs_b.metrics.deterministic_summary())
 
     def test_different_jobs_identical_best_and_counter_totals(self):
         sweep_1, obs_1 = self.run_parallel(1, MemorySink())
@@ -345,6 +352,11 @@ class TestTraceReportCli:
     def test_render_report_handles_empty_trace(self):
         assert "0 events" in render_report([])
 
+    def test_worker_views_on_empty_trace(self):
+        assert "Per-worker" not in render_report(
+            [], by_worker=True, by_task=True
+        )
+
     def test_malformed_trace_rejected(self, tmp_path):
         from repro.obs import load_events
         from repro.util.errors import ConfigurationError
@@ -353,3 +365,103 @@ class TestTraceReportCli:
         bad.write_text('{"kind": "ok", "seq": 0}\nnot json\n')
         with pytest.raises(ConfigurationError):
             load_events(str(bad))
+
+
+@pytest.fixture(scope="module")
+def merged_trace(tmp_path_factory):
+    """One ``--jobs 2`` optimizer trace shared by the view tests."""
+    trace = str(tmp_path_factory.mktemp("trace") / "merged.jsonl")
+    assert main([
+        "optimize", "--n", "6", "--effort", "smoke",
+        "--restarts", "2", "--jobs", "2", "--trace-out", trace,
+    ]) == 0
+    from repro.obs import load_events
+
+    return trace, load_events(trace)
+
+
+class TestTraceReportWorkerViews:
+    """The correlation views on a merged multi-worker trace.
+
+    The replay path re-stamps seq/wall_time on the parent bus, so the
+    first corruption mode to guard against is interleaving: events from
+    different workers mixed into one attribution, or counted twice.
+    """
+
+    def test_cli_renders_all_view_sections(self, merged_trace, capsys):
+        trace, _ = merged_trace
+        assert main([
+            "trace-report", trace, "--by-worker", "--by-task",
+        ]) == 0
+        report = capsys.readouterr().out
+        assert "Per-worker timeline:" in report
+        assert "Critical path (worker " in report
+        assert "Per-task breakdown:" in report
+        assert "best_energy=" in report
+
+    def test_by_worker_partitions_events_exactly(self, merged_trace):
+        from collections import Counter
+
+        from repro.obs.trace_report import summarize_by_worker
+
+        _, events = merged_trace
+        expected = Counter(
+            e["payload"].get("worker", "main") for e in events
+        )
+        assert len(expected) >= 3  # >= 2 workers plus the parent
+        lines = summarize_by_worker(events)
+        table = {}
+        for line in lines[2:]:
+            worker, n_events = line.split()[:2]
+            table[worker] = int(n_events)
+        assert table == {str(w): n for w, n in expected.items()}
+        # A partition: per-worker counts sum back to the whole trace.
+        assert sum(table.values()) == len(events)
+
+    def test_worker_rows_sorted_numeric_first(self, merged_trace):
+        from repro.obs.trace_report import summarize_by_worker
+
+        _, events = merged_trace
+        workers = [line.split()[0] for line in
+                   summarize_by_worker(events)[2:]]
+        indices = [w for w in workers if w != "main"]
+        assert indices == sorted(indices, key=int)
+        assert workers[-1] == "main"
+
+    def test_by_task_covers_every_stamped_task(self, merged_trace):
+        from repro.obs.trace_report import _task_of, summarize_by_task
+
+        _, events = merged_trace
+        expected = {
+            t for t in (_task_of(e) for e in events) if t is not None
+        }
+        assert expected, "worker events must carry task stamps"
+        lines = summarize_by_task(events)
+        rendered = {line.strip().split(")")[0] + ")"
+                    for line in lines[2:]}
+        assert rendered == {
+            "(" + ", ".join(map(str, t)) + ")" for t in expected
+        }
+
+    def test_critical_path_elapsed_never_increases(self, merged_trace):
+        from repro.obs.trace_report import summarize_critical_path
+
+        _, events = merged_trace
+        lines = summarize_critical_path(events)
+        assert lines and lines[0].startswith("Critical path")
+        elapsed = [float(line.split()[-3].rstrip("s"))
+                   for line in lines[1:]]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_single_worker_trace_degrades_to_one_row(self, tmp_path, capsys):
+        trace = str(tmp_path / "solo.jsonl")
+        assert main([
+            "solve", "--n", "6", "--c", "2", "--effort", "smoke",
+            "--trace-out", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace, "--by-worker"]) == 0
+        report = capsys.readouterr().out
+        section = report.split("Per-worker timeline:")[1].split("\n\n")[0]
+        rows = [line for line in section.splitlines()[2:] if line.strip()]
+        assert len(rows) == 1 and rows[0].split()[0] == "main"

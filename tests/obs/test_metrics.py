@@ -1,8 +1,12 @@
 """Metrics registry: counters, gauges, fixed-bucket histograms."""
 
+import itertools
+import json
+import random
+
 import pytest
 
-from repro.obs import Histogram, MetricsRegistry
+from repro.obs import Histogram, MetricsRegistry, Quantile, render_prometheus
 
 
 class TestCounter:
@@ -97,3 +101,195 @@ class TestRegistryExport:
         reg = MetricsRegistry()
         reg.gauge("never_set")
         assert reg.snapshot()["gauges"] == {}
+
+
+class TestQuantile:
+    def test_small_samples_exact(self):
+        q = Quantile("lat", qs=(0.5,))
+        for v in (3.0, 1.0, 2.0):
+            q.observe(v)
+        assert q.estimates()[0.5] == 2.0
+        assert q.min == 1.0 and q.max == 3.0 and q.count == 3
+
+    def test_p2_estimates_converge(self):
+        rng = random.Random(2019)
+        q = Quantile("lat", qs=(0.5, 0.9))
+        values = [rng.uniform(0, 100) for _ in range(5000)]
+        for v in values:
+            q.observe(v)
+        est = q.estimates()
+        values.sort()
+        assert est[0.5] == pytest.approx(values[2500], abs=5.0)
+        assert est[0.9] == pytest.approx(values[4500], abs=5.0)
+
+    def test_deterministic_for_same_sequence(self):
+        a, b = Quantile("x"), Quantile("x")
+        for i in range(100):
+            v = (i * 7919) % 101
+            a.observe(v)
+            b.observe(v)
+        assert a.estimates() == b.estimates()
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            Quantile("x", qs=(0.0,))
+        with pytest.raises(ValueError):
+            Quantile("x", qs=(0.5, 0.5))
+
+
+class TestRateMeter:
+    def test_rate(self):
+        m = MetricsRegistry().meter("moves")
+        m.add(100, 2.0)
+        m.add(100, 2.0)
+        assert m.count == 200
+        assert m.rate == pytest.approx(50.0)
+
+    def test_zero_elapsed_rate_is_zero(self):
+        m = MetricsRegistry().meter("moves")
+        m.add(5, 0.0)
+        assert m.rate == 0.0
+
+    def test_rejects_negatives(self):
+        m = MetricsRegistry().meter("x")
+        with pytest.raises(ValueError):
+            m.add(-1, 1.0)
+        with pytest.raises(ValueError):
+            m.add(1, -1.0)
+
+
+def _worker_registry(task_key, values):
+    reg = MetricsRegistry()
+    reg.counter("moves").inc(len(values))
+    reg.gauge("best").set(task_key[0] * 10 + task_key[1])
+    h = reg.histogram("h", (1.0, 10.0, 100.0))
+    q = reg.quantile("lat", qs=(0.5,))
+    m = reg.meter("rate")
+    for v in values:
+        h.observe(v)
+        q.observe(v)
+    m.add(len(values), 0.125 * (1 + task_key[1]))
+    return reg, task_key
+
+
+class TestMergeOrderInvariance:
+    """Pinned merge semantics: worker completion order cannot matter.
+
+    Property test over every permutation of four worker snapshots:
+    counters/histograms add exactly, float totals combine via fsum,
+    quantile digests combine count-weighted, and gauges resolve by the
+    largest merge key -- so every permutation must produce an
+    identical merged snapshot, bit for bit.
+    """
+
+    def build_workers(self):
+        seqs = [
+            [0.5, 3.0, 250.0],
+            [12.0, 0.25],
+            [7.0, 7.0, 7.0, 90.0],
+            [1e-3, 1e3],
+        ]
+        return [
+            _worker_registry((limit, restart), seq)
+            for (limit, restart), seq in zip(
+                [(2, 0), (2, 1), (4, 0), (4, 1)], seqs
+            )
+        ]
+
+    def merged(self, order):
+        parent = MetricsRegistry()
+        for reg, key in order:
+            parent.merge(reg.snapshot(), key=key)
+        return parent.snapshot()
+
+    def test_every_permutation_identical(self):
+        workers = self.build_workers()
+        baseline = self.merged(workers)
+        for perm in itertools.permutations(workers):
+            snap = self.merged(list(perm))
+            assert snap == baseline
+
+    def test_gauge_resolves_by_largest_key_not_arrival(self):
+        workers = self.build_workers()
+        for perm in itertools.permutations(workers):
+            snap = self.merged(list(perm))
+            # (4, 1) is the largest task coordinate: value 41.
+            assert snap["gauges"]["best"]["value"] == 41
+
+    def test_merged_totals_are_exact(self):
+        workers = self.build_workers()
+        snap = self.merged(workers)
+        import math
+
+        all_values = [0.5, 3.0, 250.0, 12.0, 0.25, 7.0, 7.0, 7.0, 90.0,
+                      1e-3, 1e3]
+        expected = math.fsum(all_values)
+        assert snap["histograms"]["h"]["total"] == expected
+        assert snap["histograms"]["h"]["count"] == len(all_values)
+
+    def test_local_set_after_merge_wins(self):
+        parent = MetricsRegistry()
+        reg, key = self.build_workers()[0]
+        parent.merge(reg.snapshot(), key=key)
+        parent.gauge("best").set(99.0)
+        assert parent.snapshot()["gauges"]["best"]["value"] == 99.0
+
+    def test_legacy_unkeyed_merge_incoming_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b.snapshot())
+        assert a.gauges["g"].value == 2.0
+
+
+class TestDeterministicSummary:
+    def test_excludes_gauges_and_meters(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("jobs").set(4)
+        reg.meter("rate").add(10, 0.5)
+        reg.quantile("q").observe(1.0)
+        summary = reg.deterministic_summary()
+        assert set(summary) == {"counters", "histograms", "quantiles"}
+        assert "c" in summary["counters"]
+        assert "q" in summary["quantiles"]
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.quantile("q", qs=(0.5, 0.9)).observe(3.0)
+        summary = json.loads(json.dumps(reg.deterministic_summary()))
+        assert summary["quantiles"]["q"]["count"] == 1
+
+
+class TestPrometheusExport:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("sa.moves").inc(7)
+        reg.gauge("parallel.jobs").set(4)
+        h = reg.histogram("sim.occupancy", (2.0, 8.0))
+        for v in (1, 3, 9):
+            h.observe(v)
+        q = reg.quantile("sim.packet_latency", qs=(0.5,))
+        for v in (10.0, 20.0, 30.0):
+            q.observe(v)
+        reg.meter("sim.cycle_rate").add(1000, 0.5)
+        return reg
+
+    def test_exposition_format(self):
+        text = render_prometheus(self.build().snapshot(), labels={"run_id": "abc"})
+        assert '# TYPE repro_sa_moves counter' in text
+        assert 'repro_sa_moves{run_id="abc"} 7' in text
+        assert 'repro_parallel_jobs{run_id="abc"} 4' in text
+        # Histogram buckets are cumulative and end with +Inf.
+        assert 'repro_sim_occupancy_bucket{run_id="abc",le="2"} 1' in text
+        assert 'repro_sim_occupancy_bucket{run_id="abc",le="8"} 2' in text
+        assert 'repro_sim_occupancy_bucket{run_id="abc",le="+Inf"} 3' in text
+        assert 'repro_sim_occupancy_count{run_id="abc"} 3' in text
+        assert '# TYPE repro_sim_packet_latency summary' in text
+        assert 'quantile="0.5"' in text
+        assert 'repro_sim_cycle_rate_rate{run_id="abc"} 2000' in text
+        assert text.endswith("\n")
+
+    def test_no_labels(self):
+        text = render_prometheus(self.build().snapshot())
+        assert "repro_sa_moves 7" in text

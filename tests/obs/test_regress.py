@@ -1,0 +1,132 @@
+"""Perf-regression comparator and the ``repro bench-report`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.regress import (
+    _direction,
+    compare_dirs,
+    compare_records,
+    load_results_dir,
+)
+from repro.util.errors import ConfigurationError
+
+
+def write_twin(path, name, **fields):
+    data = {"name": name, "git_sha": "abc", "timestamp": "t",
+            "effort": "smoke", **fields}
+    (path / f"{name}.json").write_text(json.dumps(data))
+
+
+@pytest.fixture
+def results_pair(tmp_path):
+    base = tmp_path / "base"
+    cand = tmp_path / "cand"
+    base.mkdir()
+    cand.mkdir()
+    return base, cand
+
+
+class TestDirectionInference:
+    def test_time_like_lower_is_better(self):
+        assert _direction("scalar_wall_s") == "lower"
+        assert _direction("batched_wall_s") == "lower"
+        assert _direction("elapsed_s") == "lower"
+
+    def test_throughput_like_higher_is_better(self):
+        assert _direction("speedup") == "higher"
+        assert _direction("moves_per_sec") == "higher"
+
+    def test_parameters_informational(self):
+        assert _direction("n") is None
+        assert _direction("evaluations") is None
+
+
+class TestCompare:
+    def test_identical_dirs_zero_regressions(self, results_pair):
+        base, cand = results_pair
+        for d in (base, cand):
+            write_twin(d, "b1", scalar_wall_s=1.0, speedup=3.0, n=16)
+        comps, unpaired = compare_dirs(str(base), str(cand))
+        assert unpaired == []
+        assert all(not c.regressed for c in comps)
+
+    def test_slowdown_flagged(self, results_pair):
+        base, cand = results_pair
+        write_twin(base, "b1", scalar_wall_s=1.0)
+        write_twin(cand, "b1", scalar_wall_s=2.0)
+        comps, _ = compare_dirs(str(base), str(cand), threshold=0.25)
+        assert [c.verdict for c in comps] == ["REGRESSED"]
+
+    def test_speedup_drop_flagged(self, results_pair):
+        base, cand = results_pair
+        write_twin(base, "b1", speedup=4.0)
+        write_twin(cand, "b1", speedup=2.0)
+        comps, _ = compare_dirs(str(base), str(cand), threshold=0.25)
+        assert comps[0].regressed
+
+    def test_improvement_and_noise(self, results_pair):
+        base, cand = results_pair
+        write_twin(base, "b1", scalar_wall_s=1.0, other_wall_s=1.0)
+        write_twin(cand, "b1", scalar_wall_s=0.5, other_wall_s=1.1)
+        comps, _ = compare_dirs(str(base), str(cand), threshold=0.25)
+        verdicts = {c.key: c.verdict for c in comps}
+        assert verdicts["scalar_wall_s"] == "improved"
+        assert verdicts["other_wall_s"] == "ok"
+
+    def test_parameter_change_never_fails(self):
+        comps = compare_records("b", {"n": 16}, {"n": 32}, threshold=0.25)
+        assert comps[0].verdict == "CHANGED"
+        assert not comps[0].regressed
+
+    def test_unpaired_reported_not_failed(self, results_pair):
+        base, cand = results_pair
+        write_twin(base, "old_bench", scalar_wall_s=1.0)
+        write_twin(cand, "new_bench", scalar_wall_s=1.0)
+        comps, unpaired = compare_dirs(str(base), str(cand))
+        assert comps == []
+        assert unpaired == ["new_bench", "old_bench"]
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_results_dir(str(tmp_path / "missing"))
+
+    def test_negative_threshold_rejected(self, results_pair):
+        base, cand = results_pair
+        with pytest.raises(ConfigurationError):
+            compare_dirs(str(base), str(cand), threshold=-0.1)
+
+
+class TestBenchReportCli:
+    def test_self_diff_exits_zero(self, results_pair, capsys):
+        base, cand = results_pair
+        for d in (base, cand):
+            write_twin(d, "b1", scalar_wall_s=1.0, speedup=3.0)
+        assert main(["bench-report", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_regression_exits_nonzero_with_artifact(self, results_pair,
+                                                    tmp_path, capsys):
+        base, cand = results_pair
+        write_twin(base, "b1", scalar_wall_s=1.0)
+        write_twin(cand, "b1", scalar_wall_s=2.0)
+        artifact = str(tmp_path / "report.json")
+        assert main([
+            "bench-report", str(base), str(cand), "--json", artifact,
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        report = json.load(open(artifact))
+        assert report["regressions"] == 1
+        assert report["comparisons"][0]["key"] == "scalar_wall_s"
+
+    def test_real_results_dir_self_diff(self, capsys):
+        # The repo's own published twins compared against themselves:
+        # the CI smoke leg in miniature.
+        assert main([
+            "bench-report", "benchmarks/results", "benchmarks/results",
+        ]) == 0
+        assert "0 regressed" in capsys.readouterr().out
