@@ -30,6 +30,7 @@ from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
 
 __all__ = [
+    "SEARCH_SPACES",
     "SearchConfig",
     "PlacementResult",
     "EvalResult",
@@ -62,6 +63,13 @@ def __getattr__(name: str):
 
         return getattr(campaign, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+#: Placement search spaces: the paper's replicated row, heterogeneous
+#: per-row placements, and pooled-budget 2D chords.  Defined here (not
+#: in :mod:`repro.core.search_space`) so :class:`SearchConfig` can
+#: validate without importing the search stack.
+SEARCH_SPACES = ("row", "hetero", "grid2d")
 
 
 @dataclass(frozen=True)
@@ -117,6 +125,15 @@ class SearchConfig:
         content-addressed manifest under ``<ledger>/<run_id>/`` (see
         :mod:`repro.obs.ledger`).  ``None`` disables recording; like
         the other observability knobs it never affects results.
+    space:
+        Placement search space (``--space``): ``"row"`` is the paper's
+        replicated-row reduction; ``"hetero"`` searches one placement
+        per mesh row (each under the row budget ``C``); ``"grid2d"``
+        searches arbitrary same-row chords under the pooled per-cut
+        budget ``n * C`` (see :mod:`repro.core.search_space`).  The
+        mesh-level spaces run through the generic SA kernels, so they
+        support ``chains`` but not the row-only ``incremental`` engine
+        or the multi-process ``restarts``/``jobs`` fan-out.
     """
 
     seed: Optional[int] = None
@@ -131,6 +148,7 @@ class SearchConfig:
     metrics_every: int = 0
     profile: bool = False
     ledger: Optional[str] = None
+    space: str = "row"
 
     def __post_init__(self) -> None:
         if self.restarts < 1:
@@ -158,6 +176,23 @@ class SearchConfig:
             raise ConfigurationError(
                 f"metrics_every must be >= 0, got {self.metrics_every}"
             )
+        if self.space not in SEARCH_SPACES:
+            raise ConfigurationError(
+                f"unknown search space {self.space!r}; expected one of "
+                f"{SEARCH_SPACES}"
+            )
+        if self.space != "row":
+            if self.incremental:
+                raise ConfigurationError(
+                    "incremental=True is row-space only: the O(n^2) "
+                    "dynamic APSP engine prices single-row link changes"
+                )
+            if self.restarts > 1 or self.jobs > 1:
+                raise ConfigurationError(
+                    "multi-process restarts/jobs are row-space only; "
+                    "use chains=K for population search in the "
+                    f"{self.space!r} space"
+                )
 
     @property
     def parallel(self) -> bool:
@@ -194,6 +229,7 @@ class SearchConfig:
             metrics_every=getattr(args, "metrics_every", defaults.metrics_every),
             profile=getattr(args, "profile", defaults.profile),
             ledger=getattr(args, "ledger", defaults.ledger),
+            space=getattr(args, "space", defaults.space),
         )
 
     def with_updates(self, **changes: Any) -> "SearchConfig":
@@ -309,6 +345,12 @@ def place_express_links(
     from repro.core.optimizer import optimize
 
     cfg = config or SearchConfig()
+    if cfg.space != "row":
+        raise ConfigurationError(
+            "place_express_links is the row-space entry point; use "
+            "repro.core.search_space.optimize_space (or repro.optimize "
+            "with config.space set) for hetero/grid2d designs"
+        )
     start = time.perf_counter()
     sweep = optimize(
         n,

@@ -25,7 +25,10 @@ best; ``--jobs K`` fans the chains out over ``K`` worker processes;
 ``--chains K`` packs consecutive restarts into lockstep population
 groups priced by one batched Floyd-Warshall call per move.  Results
 are bit-identical for every ``--jobs`` / ``--chains`` value at a
-fixed seed.
+fixed seed.  ``--space hetero|grid2d`` searches the mesh-level spaces
+(per-row placements / pooled-budget 2D chords) instead of the paper's
+replicated row; these support ``--chains`` but not the row-only
+``--restarts`` / ``--jobs`` / ``--incremental`` knobs.
 
 Observability flags (``optimize`` / ``solve`` / ``simulate``):
 ``--trace-out PATH`` streams structured events as JSON Lines,
@@ -43,7 +46,7 @@ import time
 from contextlib import contextmanager
 from typing import List, Optional
 
-from repro.api import SearchConfig
+from repro.api import SEARCH_SPACES, SearchConfig
 from repro.core.connection_matrix import ConnectionMatrix
 from repro.core.optimizer import optimize, solve_row_problem
 from repro.harness.designs import EFFORTS, hfb_design, mesh_design
@@ -96,6 +99,13 @@ def _add_run_flags(
         g.add_argument(
             "--impl", choices=IMPLEMENTATIONS, default="vectorized",
             help="Floyd-Warshall implementation (reference = pure-Python oracle)",
+        )
+        g.add_argument(
+            "--space", choices=SEARCH_SPACES, default="row",
+            help="placement search space: the paper's replicated row, "
+            "heterogeneous per-row placements, or pooled-budget 2D "
+            "chords (hetero/grid2d support --chains but not "
+            "--restarts/--jobs/--incremental)",
         )
         g.add_argument(
             "--incremental", action="store_true",
@@ -260,10 +270,17 @@ def _run_result_digest(*runs) -> str:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     with _obs_session(args) as obs:
         cfg = SearchConfig.from_cli(args)
-        parallel = cfg.parallel
+        mesh_space = cfg.space != "row"
+        parallel = cfg.parallel and not mesh_space
+        if args.save and mesh_space:
+            print("error: --save stores row sweeps only (use --space row)",
+                  file=sys.stderr)
+            return 2
         ledger = _ledger_for(args)
         ledger_params = {"n": args.n, "method": args.method,
                          "effort": args.effort}
+        if mesh_space:  # row identities keep their pre-space digests
+            ledger_params["space"] = cfg.space
         run_id = None
         if ledger is not None:
             run_id = ledger.run_id_for(
@@ -284,19 +301,22 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             print(f"sweep saved to {args.save}")
         rows = []
         for c, point in sorted(sweep.points.items()):
+            if mesh_space:
+                head = point.head_latency
+                serialization = point.serialization
+                links = point.placement.num_express_chords()
+            else:
+                head = point.latency.head
+                serialization = point.latency.serialization
+                links = len(point.placement.express_links)
             rows.append(
-                [
-                    c,
-                    point.flit_bits,
-                    point.latency.head,
-                    point.latency.serialization,
-                    point.total_latency,
-                    len(point.placement.express_links),
-                ]
+                [c, point.flit_bits, head, serialization,
+                 point.total_latency, links]
             )
+        label = f"{args.method}, space={cfg.space}" if mesh_space else args.method
         print(
             render_table(
-                f"{args.n}x{args.n} design sweep ({args.method})",
+                f"{args.n}x{args.n} design sweep ({label})",
                 ["C", "flit bits", "L_D", "L_S", "total", "express links"],
                 rows,
             )
@@ -306,7 +326,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         print(f"\nbest: C={best.link_limit}, flit={best.flit_bits}b, "
               f"total={best.total_latency:.2f} cycles "
               f"(-{pct_change(best.total_latency, mesh.point.total_latency):.1f}% vs mesh)")
-        print(f"row placement: {sorted(best.placement.express_links)}")
+        if mesh_space:
+            print(f"chords: {list(best.placement.express_chords())}")
+        else:
+            print(f"row placement: {sorted(best.placement.express_links)}")
         if parallel:
             spread = sweep.restart_energies.get(best.link_limit, ())
             print(f"search: {sweep.restarts} restart(s) x {len(sweep.points)} limits "
@@ -319,7 +342,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 "best_link_limit": best.link_limit,
                 "best_flit_bits": best.flit_bits,
                 "best_total_latency": best.total_latency,
-                "express_links": len(best.placement.express_links),
+                "express_links": (
+                    best.placement.num_express_chords() if mesh_space
+                    else len(best.placement.express_links)
+                ),
             },
             result_digest=_sweep_digest(sweep),
         )
@@ -330,16 +356,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     with _obs_session(args) as obs:
         cfg = SearchConfig.from_cli(args)
+        mesh_space = cfg.space != "row"
         ledger = _ledger_for(args)
         ledger_params = {"n": args.n, "c": args.c, "method": args.method,
                          "effort": args.effort}
+        if mesh_space:  # row identities keep their pre-space digests
+            ledger_params["space"] = cfg.space
         run_id = None
         if ledger is not None:
             run_id = ledger.run_id_for("solve", ledger_params, cfg, cfg.seed)
             if obs is not None:
                 obs.set_context(run_id=run_id)
         start = time.perf_counter()
-        if cfg.parallel:
+        if cfg.parallel and not mesh_space:
             from repro.core.parallel import parallel_row_search
 
             sol, energies = parallel_row_search(
@@ -367,9 +396,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
             energies = None
         wall = time.perf_counter() - start
-        print(f"P~({args.n},{args.c}) [{args.method}]")
+        tag = f"{args.method}, space={cfg.space}" if mesh_space else args.method
+        print(f"P~({args.n},{args.c}) [{tag}]")
+        # The energy line is format-identical across spaces on purpose:
+        # CI diffs it between `--space row` and `--space hetero` exact
+        # solves as an end-to-end reduction-parity check.
         print(f"  mean row head latency: {sol.energy:.4f} cycles (2D: {2 * sol.energy:.4f})")
-        print(f"  express links: {sorted(sol.placement.express_links)}")
+        if mesh_space:
+            print(f"  express chords: {list(sol.placement.express_chords())}")
+        else:
+            print(f"  express links: {sorted(sol.placement.express_links)}")
         print(f"  evaluations: {sol.evaluations}, wall time: {sol.wall_time_s:.2f}s")
         if energies is not None:
             print(f"  restarts: {[round(e, 4) for e in energies]} "
@@ -378,7 +414,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             ledger, obs, run_id, "solve", ledger_params, cfg, cfg.seed, wall,
             results={
                 "energy": sol.energy,
-                "express_links": len(sol.placement.express_links),
+                "express_links": (
+                    sol.placement.num_express_chords() if mesh_space
+                    else len(sol.placement.express_links)
+                ),
                 "evaluations": sol.evaluations,
             },
             result_digest=_solution_digest(sol),

@@ -319,7 +319,14 @@ def anneal(
     ----------
     initial:
         Starting connection matrix (mutated in place during the run; a
-        copy is taken so the caller's object is untouched).
+        copy is taken so the caller's object is untouched).  Any state
+        implementing the same move protocol works -- ``copy`` /
+        ``decode`` / ``random_move`` (returning an opaque site tuple) /
+        ``flip(*site)`` (its own inverse) / ``num_connection_points``
+        plus ``n`` and ``link_limit`` attributes -- which is how the
+        hetero and grid2d kernels in :mod:`repro.core.search_space`
+        ride this engine unchanged.  The incremental path additionally
+        needs ``flip_diff`` and stays row-space-only.
     objective:
         Energy function on decoded placements; lower is better.
     params:
@@ -452,14 +459,14 @@ def anneal(
                 _emit_stage(move - 1)
             stage = new_stage
             stage_moves = stage_accepted = stage_uphill = 0
-        row, layer = state.random_move(gen)
+        site = state.random_move(gen)
         if engine is None:
-            state.flip(row, layer)
+            state.flip(*site)
             candidate = state.decode()
             energy = memo(candidate)
         else:
-            added_l, removed_l = state.flip_diff(row, layer)
-            state.flip(row, layer)
+            added_l, removed_l = state.flip_diff(*site)
+            state.flip(*site)
             changes = []
             for link in removed_l:
                 link_counts[link] -= 1
@@ -528,7 +535,7 @@ def anneal(
                     link_counts[link] -= 1
                 for link in removed_l:
                     link_counts[link] += 1
-            state.flip(row, layer)  # undo
+            state.flip(*site)  # undo
         if move % trace_every == 0:
             trace.append((memo.evaluations, best_energy))
         if progress_every and obs.enabled and move % progress_every == 0:
@@ -605,7 +612,7 @@ class _Chain:
         self.done = False
         # Per-move scratch between the propose and the accept half-steps.
         self.candidate: Optional[RowPlacement] = None
-        self.site: Tuple[int, int] = (0, 0)
+        self.site: Tuple[int, ...] = (0, 0)
         self.pending_energy = 0.0
 
 
@@ -764,9 +771,8 @@ def anneal_population(
                     _emit_stage(c, move - 1)
                 c.stage = new_stage
                 c.stage_moves = c.stage_accepted = c.stage_uphill = 0
-            row, layer = c.state.random_move(c.gen)
-            c.site = (row, layer)
-            c.state.flip(row, layer)
+            c.site = c.state.random_move(c.gen)
+            c.state.flip(*c.site)
             c.candidate = c.state.decode()
         _price_chain_candidates([(c, c.candidate) for c in live], objective)
         temperature = params.temperature(move)

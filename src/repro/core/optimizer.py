@@ -139,6 +139,15 @@ def solve_row_problem(
         "solve_row_problem", config, legacy,
         ("rng", "max_evaluations", "progress_every"),
     )
+    if config is not None and config.space != "row":
+        from repro.core.search_space import solve_space
+
+        # objective, if given, must be a MeshObjective in these spaces;
+        # None builds one from the config like the row path does.
+        return solve_space(
+            n, link_limit, config.space, method=method,
+            objective=objective, params=params, obs=obs, config=config,
+        )
     if config is not None and config.parallel:
         from repro.core.parallel import parallel_row_search
 
@@ -400,6 +409,14 @@ def optimize(
         "optimize", config, legacy,
         ("rng", "restarts", "jobs", "max_evaluations"),
     )
+    if config is not None and config.space != "row":
+        from repro.core.search_space import optimize_space
+
+        return optimize_space(
+            n, config.space, method=method, bandwidth=bandwidth, mix=mix,
+            cost=cost, params=params, link_limits=link_limits, obs=obs,
+            config=config,
+        )
     impl = "vectorized"
     incremental = False
     resync_every = 1_000

@@ -109,6 +109,7 @@ class TestPaperClaims:
         )
 
 
+@pytest.mark.slow
 class TestSimulatorAgreement:
     def test_simulated_saturation_below_analytical_bound(self):
         # The cycle-accurate simulator can never beat the ideal bound,

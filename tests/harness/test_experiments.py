@@ -91,6 +91,7 @@ class TestFig7:
             assert all(a >= b - 1e-12 for a, b in zip(clean, clean[1:]))
 
 
+@pytest.mark.slow
 class TestFig8:
     def test_smoke(self):
         r = fig8(

@@ -126,6 +126,7 @@ class TestEngineParity:
             Simulator(MeshTopology.mesh(4), cfg, traffic, engine="turbo")
 
 
+@pytest.mark.slow
 class TestEngineParityProperty:
     @settings(max_examples=8, deadline=None)
     @given(

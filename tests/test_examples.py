@@ -32,6 +32,7 @@ class TestExamplesRun:
         )
         assert "Figure 6" in out and "Figure 9" in out
 
+    @pytest.mark.slow
     def test_synthetic_saturation(self):
         out = run_example(
             "synthetic_saturation.py", "--n", "4", "--pattern", "uniform_random"
