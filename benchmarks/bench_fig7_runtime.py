@@ -66,7 +66,7 @@ def test_fig7_initial_solution(benchmark, curves, capsys):
 def _timed_sweep(n, params, restarts, jobs):
     start = time.perf_counter()
     cfg = SearchConfig(seed=SEED, restarts=restarts, jobs=jobs)
-    sweep = optimize(n, params=params, config=cfg)
+    sweep = optimize(n, params=params, config=cfg).sweep
     return sweep, time.perf_counter() - start
 
 
@@ -116,7 +116,7 @@ def test_fig7_parallel_sweep_speedup(capsys):
 def _timed_incremental(n, params, incremental):
     start = time.perf_counter()
     cfg = SearchConfig(seed=SEED, incremental=incremental, resync_every=500)
-    sweep = optimize(n, params=params, config=cfg)
+    sweep = optimize(n, params=params, config=cfg).sweep
     return sweep, time.perf_counter() - start
 
 

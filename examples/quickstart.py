@@ -53,8 +53,9 @@ def main() -> None:
     print(f"Optimizing express-link placement for a {args.n}x{args.n} mesh...")
     sink = MemorySink()
     obs = Instrumentation(sinks=[sink])
-    sweep = optimize(args.n, method="dc_sa", params=params,
-                     config=SearchConfig(seed=args.seed), obs=obs)
+    result = optimize(args.n, method="dc_sa", params=params,
+                      config=SearchConfig(seed=args.seed), obs=obs)
+    sweep = result.sweep  # the raw engine sweep behind the public result
 
     rows = []
     for c, point in sorted(sweep.points.items()):

@@ -5,25 +5,32 @@ The solver surface grew keyword-by-keyword across iterations
 This module is the deliberate redesign: one frozen
 :class:`SearchConfig` carries every knob that shapes *how* a search
 runs (seed, restarts, jobs, FW implementation, incremental engine,
-trace settings), and two entry points return frozen result objects:
+trace settings), and every search entry point -- :func:`repro.optimize`,
+:func:`repro.solve_row_problem`, :func:`place_express_links`, across
+all search spaces -- returns one frozen result type:
 
-* :func:`place_express_links` -- run the full ``C`` sweep and return a
-  :class:`PlacementResult`,
-* :func:`evaluate_placement` -- price an existing placement into an
-  :class:`EvalResult`.
+* :class:`PlacementResult` -- the chosen design plus its Eq. 2 latency
+  breakdown; ``.sweep`` / ``.solution`` expose the raw engine objects
+  for power users,
+* :class:`EvalResult` -- an existing placement, priced by
+  :func:`evaluate_placement`.
 
-The legacy keyword arguments on :func:`repro.optimize` and
-:func:`repro.solve_row_problem` keep working through a deprecation shim
-that warns once per process (see :func:`warn_legacy_kwargs`); migration
-notes live in ``docs/api.md``.
+Both result types and :class:`SearchConfig` round-trip through JSON
+(:meth:`~PlacementResult.to_json` / :meth:`~PlacementResult.from_json`)
+with float-hex energies and canonical placement bytes, so the HTTP
+serving layer (:mod:`repro.serve`), the run ledger
+(:mod:`repro.obs.ledger`) and the design store all share one schema.
+
+The pre-redesign keywords (``rng=``, ``restarts=``, ...) are gone: they
+now raise :class:`TypeError` with a migration hint naming the
+:class:`SearchConfig` field to use instead (see ``docs/api.md``).
 """
 
 from __future__ import annotations
 
 import time
-import warnings
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.routing.shortest_path import IMPLEMENTATIONS
 from repro.topology.row import RowPlacement
@@ -31,12 +38,14 @@ from repro.util.errors import ConfigurationError
 
 __all__ = [
     "SEARCH_SPACES",
+    "RESULT_SCHEMA",
     "SearchConfig",
     "PlacementResult",
     "EvalResult",
     "place_express_links",
     "evaluate_placement",
-    "reset_legacy_warnings",
+    "eval_result_from_row",
+    "reject_legacy_kwargs",
     # Simulation campaigns (lazily re-exported from repro.sim.campaign).
     "SimJob",
     "TrafficSpec",
@@ -70,6 +79,35 @@ def __getattr__(name: str):
 #: in :mod:`repro.core.search_space`) so :class:`SearchConfig` can
 #: validate without importing the search stack.
 SEARCH_SPACES = ("row", "hetero", "grid2d")
+
+#: Version stamp of the shared JSON schema (:meth:`SearchConfig.to_json`,
+#: :meth:`PlacementResult.to_json`, :meth:`EvalResult.to_json`).  Bump
+#: when a field changes meaning; readers reject unknown versions.
+RESULT_SCHEMA = 1
+
+
+def _float_hex(value: Optional[float]) -> Optional[str]:
+    """Bit-exact float encoding for the JSON schema (``None`` passes)."""
+    return None if value is None else float(value).hex()
+
+
+def _float_unhex(value: Optional[str]) -> Optional[float]:
+    return None if value is None else float.fromhex(value)
+
+
+def _check_schema(data: Mapping, kind: str) -> None:
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{kind} JSON must be an object, got "
+                                 f"{type(data).__name__}")
+    schema = data.get("schema")
+    if schema != RESULT_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported {kind} schema {schema!r} (expected {RESULT_SCHEMA})"
+        )
+    if data.get("kind") != kind:
+        raise ConfigurationError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -236,69 +274,292 @@ class SearchConfig:
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)
 
+    # -- JSON schema ---------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """This config as a plain JSON-safe dict (all fields scalar)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "SearchConfig":
+        """Rebuild a config from :meth:`to_json` output.
+
+        Unknown keys are rejected (a typo'd knob must not silently
+        fall back to its default) and validation re-runs.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"SearchConfig JSON must be an object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SearchConfig field(s) {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))
+
 
 # ----------------------------------------------------------------------
-# Legacy-keyword deprecation shim
+# Legacy-keyword rejection
 # ----------------------------------------------------------------------
 
-_WARNED_FUNCTIONS: set = set()
+#: Legacy search keyword -> the SearchConfig field that replaced it.
+#: The deprecation shim (``resolve_search_args`` /
+#: ``warn_legacy_kwargs``) warned for 5 PRs; the keywords now
+#: hard-error with this mapping in the message.
+LEGACY_KWARG_MIGRATIONS = {
+    "rng": "seed",
+    "restarts": "restarts",
+    "jobs": "jobs",
+    "chains": "chains",
+    "max_evaluations": "max_evaluations",
+    "progress_every": "metrics_every",
+}
 
 
-def warn_legacy_kwargs(func_name: str, keys: Iterable[str]) -> None:
-    """Emit the legacy-keyword DeprecationWarning once per process.
+def reject_legacy_kwargs(func_name: str, legacy: Dict[str, Any]) -> None:
+    """Raise ``TypeError`` for retired search keywords, naming the fix.
 
-    One warning per function name, not per call site -- paper-scale
-    sweeps call the solvers thousands of times and a warning storm
-    would bury real output.  Tests use :func:`reset_legacy_warnings`
-    to assert the warning fires.
+    Unknown keywords keep plain ``TypeError`` semantics (typos look
+    like typos); retired ones get a migration hint naming the
+    :class:`SearchConfig` field to use instead.  No-op on an empty
+    dict, so entry points can simply forward their ``**kwargs``.
     """
-    if func_name in _WARNED_FUNCTIONS:
+    if not legacy:
         return
-    _WARNED_FUNCTIONS.add(func_name)
-    warnings.warn(
-        f"{func_name}() search keywords {sorted(keys)} are deprecated; "
-        "pass config=repro.SearchConfig(...) instead (see docs/api.md)",
-        DeprecationWarning,
-        stacklevel=3,
+    unknown = sorted(k for k in legacy if k not in LEGACY_KWARG_MIGRATIONS)
+    if unknown:
+        raise TypeError(
+            f"{func_name}() got unexpected keyword argument(s) {unknown}"
+        )
+    hints = ", ".join(
+        f"{k}= -> SearchConfig({LEGACY_KWARG_MIGRATIONS[k]}=...)"
+        for k in sorted(legacy)
     )
-
-
-def reset_legacy_warnings() -> None:
-    """Forget which functions already warned (test support)."""
-    _WARNED_FUNCTIONS.clear()
+    raise TypeError(
+        f"{func_name}() no longer accepts the legacy search keyword(s) "
+        f"{sorted(legacy)}; pass config=repro.SearchConfig(...) instead "
+        f"({hints}; see docs/api.md)"
+    )
 
 
 # ----------------------------------------------------------------------
 # Result objects
 # ----------------------------------------------------------------------
 
+def _placement_rows(placement: Any, space: str) -> Tuple[bytes, ...]:
+    """Per-row canonical bytes: the exact (unfolded) design encoding.
+
+    Mesh placements serialize one byte string per row -- NOT
+    :meth:`~repro.topology.grid.MeshRowsPlacement.canonical_bytes`,
+    which mirror-folds (identifies a design with its vertical mirror)
+    and therefore cannot round-trip.
+    """
+    if space == "row":
+        return (placement.canonical_bytes(),)
+    return tuple(row.canonical_bytes() for row in placement.rows)
+
+
+def _placement_from_rows(space: str, n: int, rows: Tuple[bytes, ...]) -> Any:
+    decoded = [RowPlacement.from_canonical_bytes(data) for data in rows]
+    if space == "row":
+        if len(decoded) != 1:
+            raise ConfigurationError(
+                f"row-space placements serialize as one row, got {len(decoded)}"
+            )
+        return decoded[0]
+    from repro.topology.grid import Grid2DPlacement, HeteroPlacement
+
+    cls = HeteroPlacement if space == "hetero" else Grid2DPlacement
+    return cls(n=n, rows=tuple(decoded))
+
+
 @dataclass(frozen=True)
 class PlacementResult:
-    """Outcome of :func:`place_express_links`: the chosen design.
+    """The unified outcome of every placement search entry point.
 
-    ``express_links`` / ``energy`` describe the winning row placement;
-    the latency fields are the Eq. 2 breakdown of the winning design
-    point; ``latency_curve`` is the full ``(C, total latency)`` sweep
-    behind Figure 5.  ``sweep`` keeps the raw
-    :class:`~repro.core.optimizer.SweepResult` for power users.
+    Returned by :func:`repro.optimize`, :func:`repro.solve_row_problem`
+    and :func:`place_express_links` in every search space.  The core
+    fields (``placement``, ``energy``, ``evaluations``) are always
+    filled; the latency-breakdown fields (``flit_bits``,
+    ``head_latency``, ``serialization_latency``, ``total_latency``,
+    ``latency_curve``) are filled by the sweeping entry points and
+    ``None``/empty for single-``C`` solves, where no flit width has
+    been chosen.
+
+    ``sweep`` keeps the raw engine object
+    (:class:`~repro.core.optimizer.SweepResult` or
+    :class:`~repro.core.search_space.SpaceSweepResult`) and
+    ``solution`` the per-instance object
+    (:class:`~repro.core.optimizer.RowSolution` /
+    :class:`~repro.core.search_space.SpaceSolution`) for power users;
+    both are excluded from equality and from the JSON schema.
     """
 
     n: int
     method: str
+    space: str
     link_limit: int
-    flit_bits: int
-    placement: RowPlacement
-    express_links: Tuple[Tuple[int, int], ...]
+    placement: Any
+    express_links: Tuple[Tuple[int, ...], ...]
     energy: float
-    head_latency: float
-    serialization_latency: float
-    total_latency: float
     evaluations: int
     wall_time_s: float
-    latency_curve: Tuple[Tuple[int, float], ...]
-    restart_energies: Tuple[Tuple[int, Tuple[float, ...]], ...]
     config: SearchConfig
+    flit_bits: Optional[int] = None
+    head_latency: Optional[float] = None
+    serialization_latency: Optional[float] = None
+    total_latency: Optional[float] = None
+    latency_curve: Tuple[Tuple[int, float], ...] = ()
+    restart_energies: Tuple[Tuple[int, Tuple[float, ...]], ...] = ()
     sweep: Any = field(repr=False, compare=False, default=None)
+    solution: Any = field(repr=False, compare=False, default=None)
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_sweep(
+        cls,
+        sweep: Any,
+        config: SearchConfig,
+        wall_time_s: float,
+    ) -> "PlacementResult":
+        """Wrap a full ``C`` sweep (row or mesh space) as the public type."""
+        best = sweep.best
+        space = getattr(sweep, "space", "row")
+        solution = sweep.solutions[best.link_limit]
+        if space == "row":
+            express = tuple(sorted(best.placement.express_links))
+            head = best.latency.head
+            serialization = best.latency.serialization
+        else:
+            express = best.placement.express_chords()
+            head = best.head_latency
+            serialization = best.serialization
+        restart = getattr(sweep, "restart_energies", None) or {}
+        return cls(
+            n=sweep.n,
+            method=sweep.method,
+            space=space,
+            link_limit=best.link_limit,
+            placement=best.placement,
+            express_links=express,
+            energy=solution.energy,
+            evaluations=sum(s.evaluations for s in sweep.solutions.values()),
+            wall_time_s=wall_time_s,
+            config=config,
+            flit_bits=best.flit_bits,
+            head_latency=head,
+            serialization_latency=serialization,
+            total_latency=best.total_latency,
+            latency_curve=sweep.latency_curve(),
+            restart_energies=tuple(sorted(restart.items())),
+            sweep=sweep,
+        )
+
+    @classmethod
+    def from_solution(
+        cls, solution: Any, config: SearchConfig
+    ) -> "PlacementResult":
+        """Wrap a single ``P~(n, C)`` solve as the public type."""
+        space = getattr(solution, "space", "row")
+        placement = solution.placement
+        if space == "row":
+            express = tuple(sorted(placement.express_links))
+        else:
+            express = placement.express_chords()
+        return cls(
+            n=solution.n,
+            method=solution.method,
+            space=space,
+            link_limit=solution.link_limit,
+            placement=placement,
+            express_links=express,
+            energy=solution.energy,
+            evaluations=solution.evaluations,
+            wall_time_s=solution.wall_time_s,
+            config=config,
+            solution=solution,
+        )
+
+    # -- JSON schema ---------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The shared wire/ledger/store schema for this result.
+
+        Energies and latencies are ``float.hex`` strings (bit-exact);
+        the placement is per-row canonical bytes as hex.  ``sweep`` /
+        ``solution`` are deliberately dropped: they carry engine
+        internals, and equality ignores them, so
+        ``from_json(to_json(r)) == r``.
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "placement_result",
+            "n": self.n,
+            "method": self.method,
+            "space": self.space,
+            "link_limit": self.link_limit,
+            "placement_rows": [
+                data.hex() for data in _placement_rows(self.placement, self.space)
+            ],
+            "express_links": [list(link) for link in self.express_links],
+            "energy": _float_hex(self.energy),
+            "evaluations": self.evaluations,
+            "wall_time_s": _float_hex(self.wall_time_s),
+            "config": self.config.to_json(),
+            "flit_bits": self.flit_bits,
+            "head_latency": _float_hex(self.head_latency),
+            "serialization_latency": _float_hex(self.serialization_latency),
+            "total_latency": _float_hex(self.total_latency),
+            "latency_curve": [
+                [c, _float_hex(t)] for c, t in self.latency_curve
+            ],
+            "restart_energies": [
+                [c, [_float_hex(e) for e in energies]]
+                for c, energies in self.restart_energies
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "PlacementResult":
+        """Rebuild a result from :meth:`to_json` output (bit-exact)."""
+        _check_schema(data, "placement_result")
+        space = data["space"]
+        if space not in SEARCH_SPACES:
+            raise ConfigurationError(
+                f"unknown search space {space!r} in placement_result"
+            )
+        placement = _placement_from_rows(
+            space, data["n"],
+            tuple(bytes.fromhex(row) for row in data["placement_rows"]),
+        )
+        return cls(
+            n=data["n"],
+            method=data["method"],
+            space=space,
+            link_limit=data["link_limit"],
+            placement=placement,
+            express_links=tuple(
+                tuple(link) for link in data["express_links"]
+            ),
+            energy=_float_unhex(data["energy"]),
+            evaluations=data["evaluations"],
+            wall_time_s=_float_unhex(data["wall_time_s"]),
+            config=SearchConfig.from_json(data["config"]),
+            flit_bits=data.get("flit_bits"),
+            head_latency=_float_unhex(data.get("head_latency")),
+            serialization_latency=_float_unhex(
+                data.get("serialization_latency")
+            ),
+            total_latency=_float_unhex(data.get("total_latency")),
+            latency_curve=tuple(
+                (c, _float_unhex(t)) for c, t in data.get("latency_curve", ())
+            ),
+            restart_energies=tuple(
+                (c, tuple(_float_unhex(e) for e in energies))
+                for c, energies in data.get("restart_energies", ())
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -319,6 +580,35 @@ class EvalResult:
     total_latency: Optional[float]
     flit_bits: Optional[int]
 
+    def to_json(self) -> Dict[str, Any]:
+        """The shared wire schema for an evaluation (float-hex exact)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "eval_result",
+            "n": self.n,
+            "link_limit": self.link_limit,
+            "row_head_latency": _float_hex(self.row_head_latency),
+            "head_latency": _float_hex(self.head_latency),
+            "worst_case_latency": _float_hex(self.worst_case_latency),
+            "serialization_latency": _float_hex(self.serialization_latency),
+            "total_latency": _float_hex(self.total_latency),
+            "flit_bits": self.flit_bits,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "EvalResult":
+        _check_schema(data, "eval_result")
+        return cls(
+            n=data["n"],
+            link_limit=data["link_limit"],
+            row_head_latency=_float_unhex(data["row_head_latency"]),
+            head_latency=_float_unhex(data["head_latency"]),
+            worst_case_latency=_float_unhex(data["worst_case_latency"]),
+            serialization_latency=_float_unhex(data["serialization_latency"]),
+            total_latency=_float_unhex(data["total_latency"]),
+            flit_bits=data["flit_bits"],
+        )
+
 
 # ----------------------------------------------------------------------
 # Entry points
@@ -334,25 +624,21 @@ def place_express_links(
     params=None,
     link_limits: Optional[Tuple[int, ...]] = None,
     obs=None,
+    warm_start: Optional[RowPlacement] = None,
 ) -> PlacementResult:
-    """Run the paper's full flow for an ``n x n`` mesh.
+    """Run the paper's full flow for an ``n x n`` mesh (any space).
 
     Sweeps every feasible cross-section limit ``C``, solves each
-    ``P~(n, C)`` with ``method``, adds the serialization latency
-    implied by the flit width, and returns the best design as a frozen
-    :class:`PlacementResult`.
+    ``P~(n, C)`` with ``method`` in ``config.space``, adds the
+    serialization latency implied by the flit width, and returns the
+    best design as a frozen :class:`PlacementResult`.  ``warm_start``
+    (row space only) injects a known-good neighbor placement as an
+    extra candidate after each solve -- see
+    :func:`repro.core.optimizer.optimize`.
     """
     from repro.core.optimizer import optimize
 
-    cfg = config or SearchConfig()
-    if cfg.space != "row":
-        raise ConfigurationError(
-            "place_express_links is the row-space entry point; use "
-            "repro.core.search_space.optimize_space (or repro.optimize "
-            "with config.space set) for hetero/grid2d designs"
-        )
-    start = time.perf_counter()
-    sweep = optimize(
+    return optimize(
         n,
         method=method,
         bandwidth=bandwidth,
@@ -361,28 +647,8 @@ def place_express_links(
         params=params,
         link_limits=link_limits,
         obs=obs,
-        config=cfg,
-    )
-    wall = time.perf_counter() - start
-    best = sweep.best
-    solution = sweep.solutions[best.link_limit]
-    return PlacementResult(
-        n=n,
-        method=method,
-        link_limit=best.link_limit,
-        flit_bits=best.flit_bits,
-        placement=best.placement,
-        express_links=tuple(sorted(best.placement.express_links)),
-        energy=solution.energy,
-        head_latency=best.latency.head,
-        serialization_latency=best.latency.serialization,
-        total_latency=best.total_latency,
-        evaluations=sum(s.evaluations for s in sweep.solutions.values()),
-        wall_time_s=wall,
-        latency_curve=sweep.latency_curve(),
-        restart_energies=tuple(sorted(sweep.restart_energies.items())),
-        config=cfg,
-        sweep=sweep,
+        config=config or SearchConfig(),
+        warm_start=warm_start,
     )
 
 
@@ -404,33 +670,55 @@ def evaluate_placement(
     """
     import numpy as np
 
-    from repro.core.latency import (
-        mean_row_head_latency,
-        network_average_latency,
-        network_worst_case_latency,
-    )
+    from repro.core.latency import mean_row_head_latency
 
     w = None if weights is None else np.asarray(weights, dtype=float)
     row = mean_row_head_latency(placement, cost, w, impl=impl)
+    return eval_result_from_row(
+        placement, row, link_limit, bandwidth=bandwidth, mix=mix, cost=cost
+    )
+
+
+def eval_result_from_row(
+    placement: RowPlacement,
+    row_head_latency: float,
+    link_limit: Optional[int] = None,
+    bandwidth=None,
+    mix=None,
+    cost=None,
+) -> EvalResult:
+    """Finish an evaluation from a precomputed row head latency.
+
+    The seam the serving layer's request batcher uses: it prices many
+    placements' row energies with one
+    :meth:`~repro.core.latency.RowObjective.evaluate_many` call
+    (bit-identical to the scalar path by the PR 5 parity contract) and
+    completes each request here, so batched ``/evaluate`` responses are
+    byte-identical to :func:`evaluate_placement`.
+    """
     if link_limit is None:
         return EvalResult(
             n=placement.n,
             link_limit=None,
-            row_head_latency=row,
-            head_latency=2.0 * row,
+            row_head_latency=row_head_latency,
+            head_latency=2.0 * row_head_latency,
             worst_case_latency=None,
             serialization_latency=None,
             total_latency=None,
             flit_bits=None,
         )
-    from repro.core.latency import BandwidthConfig
+    from repro.core.latency import (
+        BandwidthConfig,
+        network_average_latency,
+        network_worst_case_latency,
+    )
 
     bw = bandwidth or BandwidthConfig()
     breakdown = network_average_latency(placement, link_limit, bw, mix, cost)
     return EvalResult(
         n=placement.n,
         link_limit=link_limit,
-        row_head_latency=row,
+        row_head_latency=row_head_latency,
         head_latency=breakdown.head,
         worst_case_latency=network_worst_case_latency(
             placement, link_limit, bw, mix, cost
@@ -439,32 +727,3 @@ def evaluate_placement(
         total_latency=breakdown.total,
         flit_bits=bw.flit_bits(link_limit),
     )
-
-
-def resolve_search_args(
-    func_name: str,
-    config: Optional[SearchConfig],
-    legacy: Dict[str, Any],
-    allowed: Tuple[str, ...],
-) -> Tuple[Optional[SearchConfig], Dict[str, Any]]:
-    """Shared shim logic for entry points accepting ``config=`` + legacy.
-
-    Rejects unknown keywords (preserving ``TypeError`` semantics for
-    typos), refuses mixing ``config`` with legacy keywords, and warns
-    once per process when the legacy spelling is used.  Returns the
-    config (possibly ``None``) and the validated legacy dict.
-    """
-    unknown = set(legacy) - set(allowed)
-    if unknown:
-        raise TypeError(
-            f"{func_name}() got unexpected keyword argument(s) "
-            f"{sorted(unknown)}"
-        )
-    if legacy and config is not None:
-        raise ConfigurationError(
-            f"{func_name}() accepts either config= or the legacy keywords "
-            f"{sorted(legacy)}, not both"
-        )
-    if legacy:
-        warn_legacy_kwargs(func_name, legacy)
-    return config, legacy

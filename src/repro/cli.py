@@ -9,6 +9,9 @@ Gives downstream users the paper's flow without writing Python:
   fanned over ``--jobs`` worker processes (identical tables for every
   jobs value at a fixed seed),
 * ``inspect``  -- show a placement's structure, matrix and audits,
+* ``serve``    -- run the placement service: an HTTP/JSON server with a
+  content-addressed design cache, request batching, warm-started
+  near-miss searches and an idle-time cache sweeper,
 * ``experiments`` -- list the paper-figure regenerators,
 * ``trace-report`` -- summarize a JSONL trace written by ``--trace-out``
   (``--by-worker`` / ``--by-task`` add the correlation views),
@@ -53,7 +56,16 @@ from repro.harness.designs import EFFORTS, hfb_design, mesh_design
 from repro.routing.shortest_path import IMPLEMENTATIONS
 from repro.harness.tables import pct_change, render_table
 from repro.obs import Instrumentation, JsonlSink, report_file
-from repro.obs.ledger import RunLedger, LEDGER_ROOT, diff_manifests, render_runs_table
+from repro.obs.ledger import (
+    LEDGER_ROOT,
+    RunLedger,
+    diff_manifests,
+    optimize_params,
+    render_runs_table,
+    solution_digest,
+    solve_params,
+    sweep_digest,
+)
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.topology.validate import audit_row
@@ -231,26 +243,6 @@ def _record_run(
           f"({ledger.manifest_path(record.run_id)})")
 
 
-def _sweep_digest(sweep) -> str:
-    """Bit-level fingerprint of a sweep's placements and energies."""
-    from repro.obs.ledger import digest_parts
-
-    parts = []
-    for c in sorted(sweep.solutions):
-        sol = sweep.solutions[c]
-        parts.append(sol.placement.canonical_bytes())
-        parts.append(float(sol.energy).hex())
-    return digest_parts(*parts)
-
-
-def _solution_digest(sol) -> str:
-    from repro.obs.ledger import digest_parts
-
-    return digest_parts(
-        sol.placement.canonical_bytes(), float(sol.energy).hex()
-    )
-
-
 def _run_result_digest(*runs) -> str:
     """Fingerprint of simulator run results (exact float hex)."""
     from repro.obs.ledger import digest_parts
@@ -277,10 +269,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         ledger = _ledger_for(args)
-        ledger_params = {"n": args.n, "method": args.method,
-                         "effort": args.effort}
-        if mesh_space:  # row identities keep their pre-space digests
-            ledger_params["space"] = cfg.space
+        ledger_params = optimize_params(
+            args.n, args.method, args.effort, cfg.space
+        )
         run_id = None
         if ledger is not None:
             run_id = ledger.run_id_for(
@@ -289,10 +280,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             if obs is not None:
                 obs.set_context(run_id=run_id)
         start = time.perf_counter()
-        sweep = optimize(
+        res = optimize(
             args.n, method=args.method, params=EFFORTS[args.effort],
             obs=obs, config=cfg,
         )
+        sweep = res.sweep
         wall = time.perf_counter() - start
         if args.save:
             from repro.io import save_sweep
@@ -347,7 +339,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                     else len(best.placement.express_links)
                 ),
             },
-            result_digest=_sweep_digest(sweep),
+            result_digest=sweep_digest(sweep),
         )
         _finish_obs(obs, args)
     return 0
@@ -358,10 +350,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         cfg = SearchConfig.from_cli(args)
         mesh_space = cfg.space != "row"
         ledger = _ledger_for(args)
-        ledger_params = {"n": args.n, "c": args.c, "method": args.method,
-                         "effort": args.effort}
-        if mesh_space:  # row identities keep their pre-space digests
-            ledger_params["space"] = cfg.space
+        ledger_params = solve_params(
+            args.n, args.c, args.method, args.effort, cfg.space
+        )
         run_id = None
         if ledger is not None:
             run_id = ledger.run_id_for("solve", ledger_params, cfg, cfg.seed)
@@ -420,7 +411,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 ),
                 "evaluations": sol.evaluations,
             },
-            result_digest=_solution_digest(sol),
+            result_digest=solution_digest(sol),
         )
         _finish_obs(obs, args)
     return 0
@@ -698,6 +689,71 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import (
+        DesignStore,
+        HttpServer,
+        ServeApp,
+        Sweeper,
+        sweep_grid,
+    )
+
+    store = DesignStore(args.store) if args.store else DesignStore()
+    ledger = RunLedger(args.ledger) if args.ledger else None
+    app = ServeApp(
+        store,
+        ledger=ledger,
+        capacity=args.capacity,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline,
+        batch_window_s=args.batch_window,
+        default_effort=args.effort,
+        default_seed=args.seed,
+    )
+
+    async def _run() -> None:
+        server = HttpServer(app, args.host, args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"(store: {store.root}, {len(store)} cached design(s))",
+            flush=True,
+        )
+        sweep_task = None
+        if args.sweep:
+            try:
+                sizes = [int(s) for s in args.sweep.split(",") if s.strip()]
+            except ValueError as exc:
+                print(f"error: bad --sweep value: {exc}", file=sys.stderr)
+                await server.close()
+                raise SystemExit(2) from exc
+            sweeper = Sweeper(app, sweep_grid(
+                sizes, effort=args.effort, seed=args.seed,
+            ))
+            sweep_task = asyncio.get_running_loop().create_task(
+                sweeper.run()
+            )
+            print(f"sweeper pre-populating {len(sweeper.specs)} grid "
+                  f"point(s) for n in {sizes} during idle time", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if sweep_task is not None:
+                sweep_task.cancel()
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     print("Paper-figure regenerators (run with pytest <file> --benchmark-only):")
     experiments = [
@@ -807,6 +863,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
     _add_run_flags(p, obs=False)
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the placement service (HTTP/JSON, content-addressed "
+        "design cache)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 picks a free port)")
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="design-cache root (default .repro/designs)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=4, metavar="K",
+        help="max concurrent searches before 429 backpressure",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=256, metavar="K",
+        help="max queued /evaluate requests before 429",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=60.0, metavar="S",
+        help="default per-request deadline in seconds (overridable per "
+        "request via deadline_s)",
+    )
+    p.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="S",
+        help="/evaluate coalescing window in seconds",
+    )
+    p.add_argument(
+        "--sweep", metavar="N,N,...", default=None,
+        help="pre-populate the design cache for these mesh sizes during "
+        "idle time (background sweeper)",
+    )
+    _add_run_flags(p, obs=False)
+    g = p.add_argument_group("service observability")
+    g.add_argument(
+        "--ledger", metavar="DIR", nargs="?", const=LEDGER_ROOT,
+        default=None,
+        help="record every served computation as a run manifest under DIR "
+        f"(default {LEDGER_ROOT}; exposed at GET /runs/<id>)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiments", help="list paper-figure regenerators")
     p.set_defaults(func=_cmd_experiments)

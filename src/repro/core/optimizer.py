@@ -17,10 +17,10 @@ Three solving methods are exposed:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
-from repro.api import SearchConfig, resolve_search_args
+from repro.api import PlacementResult, SearchConfig, reject_legacy_kwargs
 from repro.core.annealing import (
     AnnealingParams,
     AnnealingResult,
@@ -119,36 +119,47 @@ def solve_row_problem(
     params: AnnealingParams | None = None,
     obs: Optional[Instrumentation] = None,
     config: Optional[SearchConfig] = None,
+    warm_start: Optional[RowPlacement] = None,
     **legacy,
-) -> RowSolution:
-    """Solve ``P~(n, C)`` with the chosen method.
+) -> PlacementResult:
+    """Solve ``P~(n, C)`` and return a :class:`~repro.api.PlacementResult`.
 
     Execution knobs arrive in ``config`` (a
     :class:`~repro.api.SearchConfig`); with ``restarts``/``jobs`` > 1
     the solve routes to the multi-restart engine and returns its
-    winning chain.  The pre-redesign keywords (``rng``,
-    ``max_evaluations``, ``progress_every``) still work and emit one
-    :class:`DeprecationWarning` per process -- see ``docs/api.md``.
+    winning chain; with ``config.space`` set to a mesh space it routes
+    to :func:`~repro.core.search_space.solve_space`.  The raw engine
+    object stays reachable as ``result.solution``.
+
+    ``warm_start`` (row space only) is the design cache's neighbor
+    seam: the placement is clipped to the requested limit
+    (:meth:`~repro.topology.row.RowPlacement.clipped_to_limit`),
+    priced once *after* the cold solve, and kept only if strictly
+    better.  The cold trajectory is untouched, so a warm-started solve
+    is never worse than the cold one at the same seed and budget.
 
     ``obs`` flows into the D&C seeder, the annealer and (when no
     explicit ``objective`` is given) the Floyd-Warshall evaluator, so a
     single :class:`~repro.obs.Instrumentation` observes the whole
     solve.
     """
-    config, legacy = resolve_search_args(
-        "solve_row_problem", config, legacy,
-        ("rng", "max_evaluations", "progress_every"),
-    )
-    if config is not None and config.space != "row":
+    reject_legacy_kwargs("solve_row_problem", legacy)
+    config = config or SearchConfig()
+    if config.space != "row":
         from repro.core.search_space import solve_space
 
+        if warm_start is not None:
+            raise ConfigurationError(
+                "warm_start is row-space only; mesh-space solves take "
+                "no neighbor candidate"
+            )
         # objective, if given, must be a MeshObjective in these spaces;
         # None builds one from the config like the row path does.
-        return solve_space(
+        return PlacementResult.from_solution(solve_space(
             n, link_limit, config.space, method=method,
             objective=objective, params=params, obs=obs, config=config,
-        )
-    if config is not None and config.parallel:
+        ), config)
+    if config.parallel:
         from repro.core.parallel import parallel_row_search
 
         # Workers rebuild the objective from picklable parts; arbitrary
@@ -172,22 +183,58 @@ def solve_row_problem(
             incremental=config.incremental,
             resync_every=config.resync_every, obs=obs,
         )
-        return solution
-    if config is not None:
-        return _solve_row(
-            n, link_limit, method=method, objective=objective,
-            params=params, rng=config.seed,
-            max_evaluations=config.max_evaluations, obs=obs,
-            progress_every=config.metrics_every, impl=config.impl,
-            incremental=config.incremental,
-            resync_every=config.resync_every,
-        )
-    return _solve_row(
-        n, link_limit, method=method, objective=objective, params=params,
-        rng=legacy.get("rng"),
-        max_evaluations=legacy.get("max_evaluations"),
-        obs=obs, progress_every=legacy.get("progress_every", 0),
+        if warm_start is not None:
+            kwargs = {} if cost is None else {"cost": cost}
+            if weights is not None:
+                kwargs["weights"] = weights
+            solution = inject_warm_candidate(
+                solution, warm_start, RowObjective(impl=impl, **kwargs)
+            )
+        return PlacementResult.from_solution(solution, config)
+    solution = _solve_row(
+        n, link_limit, method=method, objective=objective,
+        params=params, rng=config.seed,
+        max_evaluations=config.max_evaluations, obs=obs,
+        progress_every=config.metrics_every, impl=config.impl,
+        incremental=config.incremental,
+        resync_every=config.resync_every,
     )
+    if warm_start is not None:
+        pricing = objective if objective is not None else RowObjective(impl=config.impl)
+        solution = inject_warm_candidate(solution, warm_start, pricing)
+    return PlacementResult.from_solution(solution, config)
+
+
+def inject_warm_candidate(
+    solution: RowSolution,
+    warm_start: RowPlacement,
+    objective: Objective,
+) -> RowSolution:
+    """Post-solve candidate injection: the warm-start guarantee.
+
+    Clips ``warm_start`` to the solution's effective limit, prices it
+    once, and returns a solution with the candidate swapped in iff it
+    is strictly better.  Composing with an unchanged cold solve gives
+    ``energy_warm == min(energy_cold, energy_candidate) <=
+    energy_cold`` -- the "never worse than cold at the same seed and
+    budget" property the cache-semantics suite pins, deterministic
+    rather than statistical because the SA trajectory and its RNG
+    stream are untouched.
+    """
+    if warm_start.n != solution.n:
+        raise ConfigurationError(
+            f"warm_start is for n={warm_start.n}, solve is n={solution.n}"
+        )
+    limit = effective_link_limit(solution.n, solution.link_limit)
+    candidate = warm_start.clipped_to_limit(limit)
+    energy = objective(candidate)
+    evaluations = solution.evaluations + 1
+    if energy < solution.energy:
+        return replace(
+            solution, placement=candidate, energy=energy,
+            evaluations=evaluations,
+        )
+    return replace(solution, evaluations=evaluations)
 
 
 def _solve_row(
@@ -382,14 +429,16 @@ def optimize(
     link_limits: Optional[Tuple[int, ...]] = None,
     obs: Optional[Instrumentation] = None,
     config: Optional[SearchConfig] = None,
+    warm_start: Optional[RowPlacement] = None,
     **legacy,
-) -> SweepResult:
+) -> PlacementResult:
     """Full optimization: sweep ``C``, solve each ``P~(n, C)``, cost them.
 
-    Returns every design point so callers can plot the Figure 5 curves;
-    ``SweepResult.best`` is the paper's final answer for this network.
-    ``obs`` observes every per-``C`` solve through one instrumentation
-    context.
+    Returns the winning design as a frozen
+    :class:`~repro.api.PlacementResult` -- the paper's final answer for
+    this network; the raw sweep with every design point (the Figure 5
+    curves) stays reachable as ``result.sweep``.  ``obs`` observes
+    every per-``C`` solve through one instrumentation context.
 
     Execution knobs arrive in ``config`` (a
     :class:`~repro.api.SearchConfig`).  With ``restarts``/``jobs`` > 1
@@ -398,74 +447,74 @@ def optimize(
     per-``(C, restart)`` derived seeds, best chain kept, results
     bit-identical across all ``jobs`` values for a fixed seed.
     Otherwise the sequential path runs: one chain per ``C``, all fed
-    from a single shared stream seeded by ``config.seed``.
+    from a single shared stream seeded by ``config.seed``.  With
+    ``config.space`` set to a mesh space the sweep routes to
+    :func:`~repro.core.search_space.optimize_space`.
 
-    The pre-redesign keywords (``rng``, ``restarts``, ``jobs``,
-    ``max_evaluations``) still work -- including a shared generator as
-    ``rng`` on the sequential path -- and emit one
-    :class:`DeprecationWarning` per process; see ``docs/api.md``.
+    ``warm_start`` (row space only) injects a cached neighbor design as
+    a post-solve candidate at every ``C``
+    (:func:`inject_warm_candidate`): trajectories are untouched, so the
+    result is never worse than the cold sweep at the same seed.
+
+    The pre-redesign keywords (``rng``, ``restarts``, ``jobs``, ...)
+    now raise :class:`TypeError` with migration hints; see
+    ``docs/api.md``.
     """
-    config, legacy = resolve_search_args(
-        "optimize", config, legacy,
-        ("rng", "restarts", "jobs", "max_evaluations"),
-    )
-    if config is not None and config.space != "row":
+    reject_legacy_kwargs("optimize", legacy)
+    config = config or SearchConfig()
+    start = time.perf_counter()
+    if config.space != "row":
         from repro.core.search_space import optimize_space
 
-        return optimize_space(
+        if warm_start is not None:
+            raise ConfigurationError(
+                "warm_start is row-space only; mesh-space sweeps take "
+                "no neighbor candidate"
+            )
+        sweep = optimize_space(
             n, config.space, method=method, bandwidth=bandwidth, mix=mix,
             cost=cost, params=params, link_limits=link_limits, obs=obs,
             config=config,
         )
-    impl = "vectorized"
-    incremental = False
-    resync_every = 1_000
-    chains = 1
-    if config is not None:
-        rng = config.seed
-        max_evaluations = config.max_evaluations
-        use_parallel = config.parallel
-        restarts, jobs = config.effective_restarts, config.jobs
-        chains = config.chains
-        impl = config.impl
-        incremental = config.incremental
-        resync_every = config.resync_every
-    else:
-        rng = legacy.get("rng")
-        max_evaluations = legacy.get("max_evaluations")
-        restarts = legacy.get("restarts")
-        jobs = legacy.get("jobs")
-        # Legacy semantics: mentioning either knob routes to the
-        # multi-restart engine, even with value 1.
-        use_parallel = restarts is not None or jobs is not None
-    if use_parallel:
+        return PlacementResult.from_sweep(
+            sweep, config, time.perf_counter() - start
+        )
+    if config.parallel:
         from repro.core.parallel import parallel_sweep
 
-        return parallel_sweep(
+        sweep = parallel_sweep(
             n,
             method=method,
             bandwidth=bandwidth,
             mix=mix,
             cost=cost,
             params=params,
-            base_seed=rng,
+            base_seed=config.seed,
             link_limits=link_limits,
-            max_evaluations=max_evaluations,
-            restarts=restarts or 1,
-            jobs=jobs or 1,
-            chains=chains,
-            impl=impl,
-            incremental=incremental,
-            resync_every=resync_every,
+            max_evaluations=config.max_evaluations,
+            restarts=config.effective_restarts,
+            jobs=config.jobs,
+            chains=config.chains,
+            impl=config.impl,
+            incremental=config.incremental,
+            resync_every=config.resync_every,
             obs=obs,
+        )
+        if warm_start is not None:
+            _inject_warm_into_sweep(sweep, warm_start, config.impl,
+                                    bandwidth, mix, cost)
+        return PlacementResult.from_sweep(
+            sweep, config, time.perf_counter() - start
         )
     bandwidth = bandwidth or BandwidthConfig()
     mix = mix or PacketMix.paper_default()
     cost = cost or HopCostModel()
-    gen = ensure_rng(rng)
+    gen = ensure_rng(config.seed)
     obs = ensure_obs(obs)
     limits = link_limits or bandwidth.valid_link_limits(n)
-    objective = RowObjective(cost=cost, impl=impl, obs=None if obs.is_null else obs)
+    objective = RowObjective(
+        cost=cost, impl=config.impl, obs=None if obs.is_null else obs
+    )
 
     result = SweepResult(n=n, method=method)
     for limit in limits:
@@ -487,13 +536,44 @@ def optimize(
                 objective=objective,
                 params=params,
                 rng=gen,
-                max_evaluations=max_evaluations,
+                max_evaluations=config.max_evaluations,
                 obs=obs,
-                incremental=incremental,
-                resync_every=resync_every,
+                incremental=config.incremental,
+                resync_every=config.resync_every,
             )
         result.solutions[limit] = solution
         result.points[limit] = design_point(
             solution.placement, limit, bandwidth, mix, cost
         )
-    return result
+    if warm_start is not None:
+        _inject_warm_into_sweep(result, warm_start, config.impl,
+                                bandwidth, mix, cost)
+    return PlacementResult.from_sweep(
+        result, config, time.perf_counter() - start
+    )
+
+
+def _inject_warm_into_sweep(
+    sweep: SweepResult,
+    warm_start: RowPlacement,
+    impl: str,
+    bandwidth: BandwidthConfig | None,
+    mix: PacketMix | None,
+    cost: HopCostModel | None,
+) -> None:
+    """Inject the warm candidate at every swept ``C`` (in place).
+
+    ``C = 1`` is skipped: the clip degenerates to the plain mesh the
+    sweep already priced.  Improved solutions get their design point
+    re-costed so ``best`` reflects the injected placement.
+    """
+    pricing = RowObjective(cost=cost or HopCostModel(), impl=impl)
+    for limit, solution in sweep.solutions.items():
+        if limit == 1:
+            continue
+        injected = inject_warm_candidate(solution, warm_start, pricing)
+        sweep.solutions[limit] = injected
+        if injected.placement != solution.placement:
+            sweep.points[limit] = design_point(
+                injected.placement, limit, bandwidth, mix, cost
+            )

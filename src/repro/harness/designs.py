@@ -70,7 +70,7 @@ def _sweep(n: int, method: str, seed: int, effort: str, base_flit: int) -> Sweep
         cost=HopCostModel(),
         params=EFFORTS[effort],
         config=SearchConfig(seed=seed),
-    )
+    ).sweep
 
 
 def optimized_sweep(

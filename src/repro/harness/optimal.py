@@ -95,7 +95,7 @@ def fig12(
                 optimal_energy=exact.energy,
                 dc_sa_energy=dc.energy,
                 optimal_evaluations=exact.states_visited,
-                dc_sa_evaluations=_evaluations_to_solution(dc),
+                dc_sa_evaluations=_evaluations_to_solution(dc.solution),
                 optimal_time_s=exact.wall_time_s,
                 dc_sa_time_s=dc.wall_time_s,
             )

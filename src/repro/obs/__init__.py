@@ -5,7 +5,7 @@ Usage::
     from repro.obs import Instrumentation, MemorySink
 
     obs = Instrumentation(sinks=[MemorySink()], profile=True)
-    sweep = optimize(8, config=SearchConfig(seed=2019), obs=obs)
+    result = optimize(8, config=SearchConfig(seed=2019), obs=obs)
     print(obs.metrics_summary())
     print(obs.profile_table())
 

@@ -99,6 +99,51 @@ def digest_parts(*parts: Any) -> str:
     return h.hexdigest()[:16]
 
 
+def optimize_params(
+    n: int, method: str, effort: str, space: str = "row"
+) -> Dict:
+    """The identity params of an ``optimize`` run.
+
+    The single definition shared by the CLI's ``--ledger`` recording
+    and the serving layer's design store, so a served ``/place``
+    request and ``repro optimize`` compute the *same* ``run_id`` for
+    the same work -- the property the cache-hit byte-identity check in
+    CI rests on.  ``space`` is recorded only for the mesh spaces: row
+    identities keep their pre-space digests.
+    """
+    params = {"n": n, "method": method, "effort": effort}
+    if space != "row":
+        params["space"] = space
+    return params
+
+
+def solve_params(
+    n: int, c: int, method: str, effort: str, space: str = "row"
+) -> Dict:
+    """The identity params of a single-``C`` ``solve`` run."""
+    params = {"n": n, "c": c, "method": method, "effort": effort}
+    if space != "row":
+        params["space"] = space
+    return params
+
+
+def sweep_digest(sweep) -> str:
+    """Bit-level fingerprint of a sweep's placements and energies."""
+    parts = []
+    for c in sorted(sweep.solutions):
+        sol = sweep.solutions[c]
+        parts.append(sol.placement.canonical_bytes())
+        parts.append(float(sol.energy).hex())
+    return digest_parts(*parts)
+
+
+def solution_digest(sol) -> str:
+    """Fingerprint of one solution (any object with placement + energy)."""
+    return digest_parts(
+        sol.placement.canonical_bytes(), float(sol.energy).hex()
+    )
+
+
 def git_sha() -> Optional[str]:
     """The current commit, or ``None`` outside a git checkout."""
     try:

@@ -1,0 +1,620 @@
+"""Placement-as-a-service: the async HTTP/JSON application.
+
+:class:`ServeApp` is transport-independent: :meth:`ServeApp.handle`
+maps ``(method, path, body)`` to ``(status, content type, payload,
+headers)``, so tests drive it in-process while
+:class:`HttpServer` speaks HTTP/1.1 over ``asyncio.start_server``
+(stdlib only -- no framework dependency).
+
+Endpoints
+---------
+``POST /place``
+    Full design search (``repro.optimize``) through the design cache:
+    exact identity hits return the stored result in O(1); concurrent
+    identical requests compute once (single-flight); near misses
+    warm-start from a cached neighbor
+    (:meth:`~repro.serve.store.DesignStore.nearest`).
+``POST /evaluate``
+    Price one placement; concurrent requests coalesce into one
+    population kernel call (:mod:`repro.serve.batcher`).
+``POST /campaign``
+    A simulation campaign grid (:mod:`repro.sim.campaign`).
+``GET /runs/<id>``
+    The run-ledger manifest recorded for a served computation.
+``GET /metrics``
+    Prometheus text (:func:`repro.obs.metrics.render_prometheus`).
+``GET /healthz``
+    Liveness + drain state, for boot scripts.
+
+Robustness
+----------
+Per-request deadlines (``deadline_s`` in the body, capped by the
+server) return 504 while the underlying computation continues and
+still populates the cache; a bounded in-flight budget returns 429 with
+``Retry-After``; shutdown drains in-flight work behind 503s.  Every
+request increments ``serve.*`` counters and every computed design is
+recorded in the run ledger, so the obs stack is the service telemetry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import SearchConfig
+from repro.core.optimizer import optimize
+from repro.obs.ledger import (
+    RunLedger,
+    digest_parts,
+    optimize_params,
+    sweep_digest,
+)
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.serve.batcher import EvaluateBatcher
+from repro.serve.store import DesignStore, StoreEntry
+from repro.topology.row import RowPlacement
+from repro.util.errors import ConfigurationError, InvalidPlacementError
+
+#: Body fields every POST endpoint understands.
+_COMMON_FIELDS = {"deadline_s"}
+
+JSON = "application/json"
+TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+Response = Tuple[int, str, bytes, Dict[str, str]]
+
+
+class RequestError(Exception):
+    """A malformed request (maps to HTTP 400)."""
+
+
+def _json_bytes(obj: Any) -> bytes:
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ServeApp:
+    """The placement service: cache-backed solvers behind five routes."""
+
+    def __init__(
+        self,
+        store: Optional[DesignStore] = None,
+        registry: Optional[MetricsRegistry] = None,
+        ledger: Optional[RunLedger] = None,
+        *,
+        capacity: int = 4,
+        queue_limit: int = 256,
+        default_deadline_s: float = 60.0,
+        max_deadline_s: float = 600.0,
+        batch_window_s: float = 0.002,
+        default_effort: str = "paper",
+        default_seed: Optional[int] = 2019,
+        workers: Optional[int] = None,
+    ) -> None:
+        # Explicit None check: DesignStore has __len__, so an *empty*
+        # store is falsy and `store or DesignStore()` would discard it.
+        self.store = store if store is not None else DesignStore()
+        self.metrics = registry or MetricsRegistry()
+        self.ledger = ledger
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self.default_deadline_s = default_deadline_s
+        self.max_deadline_s = max_deadline_s
+        self.default_effort = default_effort
+        self.default_seed = default_seed
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers or max(2, capacity),
+            thread_name_prefix="repro-serve",
+        )
+        self.batcher = EvaluateBatcher(
+            self.metrics, window_s=batch_window_s, executor=self.executor
+        )
+        self.draining = False
+        self._active = 0
+        self._inflight: Dict[str, asyncio.Task] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no search or evaluation work is in flight."""
+        return (
+            self._active == 0
+            and not self._inflight
+            and not self.batcher._pending
+        )
+
+    async def shutdown(self) -> None:
+        """Drain in-flight work, then release the worker pool.
+
+        New requests are refused with 503 the moment draining starts;
+        everything already admitted runs to completion (and still
+        lands in the cache/ledger) before the pool closes.
+        """
+        self.draining = True
+        tasks = list(self._inflight.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        await self.batcher.drain()
+        self.executor.shutdown(wait=True)
+
+    # -- routing -------------------------------------------------------
+    async def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Route one request; the transport-independent entry point."""
+        self.metrics.counter("serve.requests").inc()
+        try:
+            if method == "POST" and path == "/place":
+                self.metrics.counter("serve.request.place").inc()
+                return await self._handle_place(self._parse_body(body))
+            if method == "POST" and path == "/evaluate":
+                self.metrics.counter("serve.request.evaluate").inc()
+                return await self._handle_evaluate(self._parse_body(body))
+            if method == "POST" and path == "/campaign":
+                self.metrics.counter("serve.request.campaign").inc()
+                return await self._handle_campaign(self._parse_body(body))
+            if method == "GET" and path.startswith("/runs/"):
+                self.metrics.counter("serve.request.runs").inc()
+                return self._handle_runs(path[len("/runs/"):])
+            if method == "GET" and path == "/metrics":
+                self.metrics.counter("serve.request.metrics").inc()
+                return self._handle_metrics()
+            if method == "GET" and path == "/healthz":
+                return (200, JSON, _json_bytes(
+                    {"status": "draining" if self.draining else "ok",
+                     "inflight": self._active,
+                     "cached_designs": len(self.store)}
+                ), {})
+            return self._error(404, f"no route for {method} {path}")
+        except RequestError as exc:
+            self.metrics.counter("serve.errors.bad_request").inc()
+            return self._error(400, str(exc))
+        except (ConfigurationError, InvalidPlacementError) as exc:
+            self.metrics.counter("serve.errors.bad_request").inc()
+            return self._error(400, str(exc))
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve.rejected.deadline").inc()
+            return self._error(504, "deadline exceeded; the computation "
+                               "continues and will populate the cache")
+        except Exception as exc:  # noqa: BLE001 - service must not die
+            self.metrics.counter("serve.errors.internal").inc()
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _error(self, status: int, message: str,
+               headers: Optional[Dict[str, str]] = None) -> Response:
+        return (status, JSON, _json_bytes({"error": message}), headers or {})
+
+    @staticmethod
+    def _parse_body(body: bytes) -> Dict:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise RequestError("request body must be a JSON object")
+        return data
+
+    def _deadline(self, body: Dict) -> float:
+        deadline = body.get("deadline_s", self.default_deadline_s)
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise RequestError(f"deadline_s must be a number, got "
+                               f"{deadline!r}") from None
+        if deadline <= 0:
+            raise RequestError(f"deadline_s must be positive, got {deadline}")
+        return min(deadline, self.max_deadline_s)
+
+    # -- /place --------------------------------------------------------
+    def _place_spec(self, body: Dict) -> Dict:
+        known = {"n", "method", "effort", "config", "link_limits",
+                 "warm"} | _COMMON_FIELDS
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise RequestError(f"unknown /place field(s) {unknown}; "
+                               f"known: {sorted(known)}")
+        if "n" not in body:
+            raise RequestError("/place requires 'n' (mesh size)")
+        n = body["n"]
+        if not isinstance(n, int) or n < 2:
+            raise RequestError(f"n must be an integer >= 2, got {n!r}")
+        from repro.harness.designs import EFFORTS
+
+        method = body.get("method", "dc_sa")
+        effort = body.get("effort", self.default_effort)
+        if effort not in EFFORTS:
+            raise RequestError(
+                f"unknown effort {effort!r}; expected one of {sorted(EFFORTS)}"
+            )
+        config_body = dict(body.get("config") or {})
+        config_body.setdefault("seed", self.default_seed)
+        cfg = SearchConfig.from_json(config_body)
+        link_limits = body.get("link_limits")
+        if link_limits is not None:
+            if (not isinstance(link_limits, list) or not link_limits
+                    or not all(isinstance(c, int) and c >= 1
+                               for c in link_limits)):
+                raise RequestError("link_limits must be a non-empty list "
+                                   "of integers >= 1")
+            link_limits = tuple(link_limits)
+        params = optimize_params(n, method, effort, cfg.space)
+        if link_limits is not None:
+            params["link_limits"] = list(link_limits)
+        return {
+            "n": n, "method": method, "effort": effort, "config": cfg,
+            "link_limits": link_limits, "params": params,
+            "warm": bool(body.get("warm", True)),
+        }
+
+    async def _handle_place(self, body: Dict) -> Response:
+        deadline = self._deadline(body)
+        spec = self._place_spec(body)
+        cfg: SearchConfig = spec["config"]
+        key = self.store.key_for("optimize", spec["params"], cfg, cfg.seed)
+        cached = self.store.get(key)
+        if cached is not None:
+            self.metrics.counter("serve.cache.hit").inc()
+            return self._place_response(cached, "hit")
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Single-flight: identical concurrent requests share one
+            # computation.  shield() keeps this waiter's deadline from
+            # cancelling work other requests (and the cache) depend on.
+            self.metrics.counter("serve.cache.coalesced").inc()
+            entry = await asyncio.wait_for(
+                asyncio.shield(inflight), deadline
+            )
+            return self._place_response(entry, "coalesced")
+        if self.draining:
+            self.metrics.counter("serve.rejected.draining").inc()
+            return self._error(503, "server is draining",
+                               {"Retry-After": "5"})
+        if self._active >= self.capacity:
+            self.metrics.counter("serve.rejected.backpressure").inc()
+            return self._error(
+                429,
+                f"at capacity ({self.capacity} searches in flight)",
+                {"Retry-After": "1"},
+            )
+        neighbor: Optional[StoreEntry] = None
+        if spec["warm"] and cfg.space == "row":
+            neighbor = self.store.nearest(spec["n"], "row", exclude=key)
+        cache_class = "warm" if neighbor is not None else "miss"
+        self.metrics.counter(f"serve.cache.{cache_class}").inc()
+        task = asyncio.get_running_loop().create_task(
+            self._compute_place(key, spec, neighbor)
+        )
+        self._inflight[key] = task
+        entry = await asyncio.wait_for(asyncio.shield(task), deadline)
+        return self._place_response(entry, cache_class)
+
+    async def _compute_place(
+        self, key: str, spec: Dict, neighbor: Optional[StoreEntry]
+    ) -> StoreEntry:
+        from repro.harness.designs import EFFORTS
+
+        self._active += 1
+        try:
+            cfg: SearchConfig = spec["config"]
+            warm_start = neighbor.result.placement if neighbor else None
+            loop = asyncio.get_running_loop()
+            start = time.perf_counter()
+            result = await loop.run_in_executor(
+                self.executor,
+                functools.partial(
+                    optimize,
+                    spec["n"],
+                    method=spec["method"],
+                    params=EFFORTS[spec["effort"]],
+                    link_limits=spec["link_limits"],
+                    config=cfg,
+                    warm_start=warm_start,
+                ),
+            )
+            wall = time.perf_counter() - start
+            self.metrics.quantile("serve.place.wall_s", (0.5, 0.9)).observe(wall)
+            digest = sweep_digest(result.sweep)
+            entry = self.store.put(
+                "optimize", spec["params"], cfg, cfg.seed, result, digest,
+                warm_from=neighbor.key if neighbor else None, key=key,
+            )
+            if self.ledger is not None:
+                self.ledger.record(
+                    kind="optimize", params=spec["params"], config=cfg,
+                    seed=cfg.seed, wall_time_s=wall,
+                    results={
+                        "best_link_limit": result.link_limit,
+                        "best_flit_bits": result.flit_bits,
+                        "best_total_latency": result.total_latency,
+                        "express_links": len(result.express_links),
+                    },
+                    result_digest=digest, run_id=key,
+                )
+            return entry
+        finally:
+            self._active -= 1
+            self._inflight.pop(key, None)
+
+    def _place_response(self, entry: StoreEntry, cache: str) -> Response:
+        return (200, JSON, _json_bytes({
+            "key": entry.key,
+            "cache": cache,
+            "result_digest": entry.result_digest,
+            "warm_from": entry.warm_from,
+            "wall_time_s": entry.wall_time_s,
+            "result": entry.result.to_json(),
+        }), {})
+
+    # -- /evaluate -----------------------------------------------------
+    def _evaluate_spec(self, body: Dict) -> Tuple[RowPlacement, Optional[int],
+                                                  Optional[tuple]]:
+        known = {"n", "express_links", "placement_row", "link_limit",
+                 "weights"} | _COMMON_FIELDS
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise RequestError(f"unknown /evaluate field(s) {unknown}; "
+                               f"known: {sorted(known)}")
+        if "placement_row" in body:
+            placement = RowPlacement.from_canonical_bytes(
+                bytes.fromhex(body["placement_row"])
+            )
+        elif "n" in body:
+            links = body.get("express_links", [])
+            if not isinstance(links, list):
+                raise RequestError("express_links must be a list of [i, j] "
+                                   "pairs")
+            placement = RowPlacement(
+                n=body["n"],
+                express_links=frozenset(tuple(link) for link in links),
+            )
+        else:
+            raise RequestError("/evaluate requires 'placement_row' (canonical "
+                               "bytes hex) or 'n' + 'express_links'")
+        link_limit = body.get("link_limit")
+        if link_limit is not None and (
+            not isinstance(link_limit, int) or link_limit < 1
+        ):
+            raise RequestError(f"link_limit must be an integer >= 1, got "
+                               f"{link_limit!r}")
+        weights = body.get("weights")
+        if weights is not None:
+            try:
+                weights = tuple(
+                    tuple(float(x) for x in row) for row in weights
+                )
+            except (TypeError, ValueError):
+                raise RequestError("weights must be an n x n matrix of "
+                                   "numbers") from None
+            n = placement.n
+            if len(weights) != n or any(len(row) != n for row in weights):
+                raise RequestError(f"weights must be {n}x{n} for this "
+                                   "placement")
+            if sum(x for row in weights for x in row) <= 0:
+                raise RequestError("weights must have positive sum")
+        return placement, link_limit, weights
+
+    async def _handle_evaluate(self, body: Dict) -> Response:
+        deadline = self._deadline(body)
+        placement, link_limit, weights = self._evaluate_spec(body)
+        if self.draining:
+            self.metrics.counter("serve.rejected.draining").inc()
+            return self._error(503, "server is draining",
+                               {"Retry-After": "5"})
+        if len(self.batcher._pending) >= self.queue_limit:
+            self.metrics.counter("serve.rejected.backpressure").inc()
+            return self._error(
+                429,
+                f"evaluate queue full ({self.queue_limit} pending)",
+                {"Retry-After": "1"},
+            )
+        result = await asyncio.wait_for(
+            self.batcher.evaluate(placement, link_limit, weights), deadline
+        )
+        return (200, JSON, _json_bytes({
+            "placement_row": placement.canonical_bytes().hex(),
+            "result": result.to_json(),
+        }), {})
+
+    # -- /campaign -----------------------------------------------------
+    async def _handle_campaign(self, body: Dict) -> Response:
+        known = {"n", "schemes", "patterns", "rates", "seeds", "warmup",
+                 "measure", "effort", "seed", "jobs"} | _COMMON_FIELDS
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise RequestError(f"unknown /campaign field(s) {unknown}; "
+                               f"known: {sorted(known)}")
+        if "n" not in body:
+            raise RequestError("/campaign requires 'n' (mesh size)")
+        deadline = self._deadline(body)
+        if self.draining:
+            self.metrics.counter("serve.rejected.draining").inc()
+            return self._error(503, "server is draining",
+                               {"Retry-After": "5"})
+        if self._active >= self.capacity:
+            self.metrics.counter("serve.rejected.backpressure").inc()
+            return self._error(
+                429,
+                f"at capacity ({self.capacity} searches in flight)",
+                {"Retry-After": "1"},
+            )
+        task = asyncio.get_running_loop().create_task(
+            self._compute_campaign(body)
+        )
+        payload = await asyncio.wait_for(asyncio.shield(task), deadline)
+        return (200, JSON, _json_bytes(payload), {})
+
+    async def _compute_campaign(self, body: Dict) -> Dict:
+        self._active += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self.executor, functools.partial(_run_campaign_grid, body,
+                                                 self.default_effort)
+            )
+        finally:
+            self._active -= 1
+
+    # -- /runs, /metrics -----------------------------------------------
+    def _handle_runs(self, run_id: str) -> Response:
+        if self.ledger is None:
+            return self._error(404, "no run ledger attached to this server")
+        try:
+            manifest = self.ledger.load(run_id)
+        except ConfigurationError as exc:
+            return self._error(404, str(exc))
+        return (200, JSON, _json_bytes(manifest), {})
+
+    def _handle_metrics(self) -> Response:
+        text = render_prometheus(
+            self.metrics.snapshot(), labels={"service": "repro-serve"}
+        )
+        return (200, TEXT, text.encode("utf-8"), {})
+
+
+def _run_campaign_grid(body: Dict, default_effort: str) -> Dict:
+    """Build and run one campaign grid (worker thread)."""
+    from repro.cli import _design_for
+    from repro.sim.campaign import campaign_grid, run_campaign
+
+    n = body["n"]
+    seed = body.get("seed", 2019)
+    effort = body.get("effort", default_effort)
+    designs = [
+        _design_for(s, n, seed, effort)
+        for s in (body.get("schemes") or ["mesh"])
+    ]
+    grid = campaign_grid(
+        designs,
+        body.get("patterns") or ["uniform_random"],
+        [float(r) for r in (body.get("rates") or [1.0])],
+        base_seed=seed,
+        seeds_per_point=int(body.get("seeds", 1)),
+        warmup=int(body.get("warmup", 300)),
+        measure=int(body.get("measure", 1_000)),
+    )
+    campaign = run_campaign(grid, jobs=int(body.get("jobs", 1)))
+    rows: List[Dict] = []
+    digest_fields: List[Any] = []
+    for job, res in zip(campaign.jobs, campaign.results):
+        scheme, pattern, rate, seed_i = job.key
+        summary = res.run.summary
+        rows.append({
+            "scheme": scheme, "pattern": pattern, "rate": rate,
+            "seed": seed_i, "packets": summary.packets,
+            "avg_network_latency": summary.avg_network_latency,
+            "throughput_packets_per_cycle":
+                summary.throughput_packets_per_cycle,
+            "cycles": res.run.cycles_run,
+            "drained": res.run.drained,
+        })
+        digest_fields.extend([
+            res.run.cycles_run, summary.packets,
+            float(summary.avg_network_latency).hex(),
+        ])
+    return {
+        "runs": len(rows),
+        "results": rows,
+        "result_digest": digest_parts(*digest_fields),
+    }
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+}
+
+#: Request body ceiling (weights matrices are the largest legit bodies).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class HttpServer:
+    """A minimal HTTP/1.1 front end over ``asyncio.start_server``."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 8787) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._server is not None and self._server.sockets
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, then drain the application."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.app.shutdown()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, ctype, payload, headers = await self._dispatch(reader)
+        except Exception:  # noqa: BLE001 - malformed wire input
+            status, ctype, payload, headers = (
+                400, JSON, _json_bytes({"error": "malformed request"}), {}
+            )
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii"))
+        writer.write(payload)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+
+    async def _dispatch(self, reader: asyncio.StreamReader) -> Response:
+        request_line = await reader.readline()
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            return (400, JSON, _json_bytes({"error": "bad request line"}), {})
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return (400, JSON,
+                            _json_bytes({"error": "bad Content-Length"}), {})
+        if content_length > MAX_BODY_BYTES:
+            return (413, JSON, _json_bytes(
+                {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+            ), {})
+        body = await reader.readexactly(content_length) if content_length else b""
+        return await self.app.handle(method, path, body)

@@ -48,6 +48,28 @@ def pack_links(n: int, links: Iterable[Link]) -> bytes:
     return struct.pack(f"<{len(flat)}H", *flat)
 
 
+def unpack_links(data: bytes) -> Tuple[int, Tuple[Link, ...]]:
+    """Decode :func:`pack_links` bytes back into ``(n, links)``.
+
+    The inverse of the canonical encoding; rejects byte strings whose
+    length is not an odd number of uint16 words (``n`` plus endpoint
+    pairs).
+    """
+    if len(data) < 2 or len(data) % 2:
+        raise InvalidPlacementError(
+            f"placement bytes have invalid length {len(data)}"
+        )
+    words = struct.unpack(f"<{len(data) // 2}H", data)
+    if len(words) % 2 == 0:
+        raise InvalidPlacementError(
+            "placement bytes truncated: expected n followed by endpoint pairs"
+        )
+    links = tuple(
+        (words[k], words[k + 1]) for k in range(1, len(words), 2)
+    )
+    return words[0], links
+
+
 @dataclass(frozen=True)
 class RowPlacement:
     """An express-link placement on a row of ``n`` routers.
@@ -107,6 +129,18 @@ class RowPlacement:
         object.__setattr__(self, "n", n)
         object.__setattr__(self, "express_links", links)
         return self
+
+    @classmethod
+    def from_canonical_bytes(cls, data: bytes) -> "RowPlacement":
+        """Decode :meth:`canonical_bytes` back into a placement.
+
+        Round-trips exactly: ``RowPlacement.from_canonical_bytes(
+        p.canonical_bytes()) == p``.  Links are re-validated, so
+        corrupted byte strings raise :class:`InvalidPlacementError`
+        rather than producing an out-of-range placement.
+        """
+        n, links = unpack_links(data)
+        return cls(n=n, express_links=frozenset(links))
 
     @classmethod
     def fully_connected(cls, n: int) -> "RowPlacement":
@@ -183,6 +217,32 @@ class RowPlacement:
                 raise InvalidPlacementError(
                     f"cross-section {k} carries {c} links, limit is {limit}"
                 )
+
+    def clipped_to_limit(self, limit: int) -> "RowPlacement":
+        """A nearby placement satisfying ``limit``, derived deterministically.
+
+        The warm-start projection used by the design cache: when a
+        cached neighbor was solved under a different cross-section
+        budget, its links are clipped down to the requested one.  While
+        any cross-section is over budget, among the links crossing the
+        most-loaded section the longest one is dropped (ties broken by
+        the lexicographically largest endpoint pair), longest-first
+        because long links load the most sections per unit of latency
+        benefit.  The rule uses no RNG, so the same neighbor always
+        projects to the same candidate.
+        """
+        if limit < 1:
+            raise InvalidPlacementError(f"link limit must be >= 1, got {limit}")
+        links = set(self.express_links)
+        counts = list(self.cross_section_counts())
+        while counts and max(counts) > limit:
+            worst = counts.index(max(counts))
+            crossing = [l for l in links if l[0] <= worst < l[1]]
+            victim = max(crossing, key=lambda l: (l[1] - l[0], l))
+            links.remove(victim)
+            for k in range(victim[0], victim[1]):
+                counts[k] -= 1
+        return RowPlacement.from_normalized(self.n, frozenset(links))
 
     def degree(self, i: int) -> int:
         """Number of row links incident to router ``i`` (ports used)."""

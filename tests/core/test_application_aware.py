@@ -161,7 +161,9 @@ class TestOptimizeApplicationAware:
         np.fill_diagonal(g, 0)
         from repro.core.optimizer import solve_row_problem
 
-        general = solve_row_problem(n, 2, params=QUICK, rng=2)
+        from repro.api import SearchConfig
+
+        general = solve_row_problem(n, 2, params=QUICK, config=SearchConfig(seed=2))
         general_topo = MeshTopology.uniform(general.placement)
         general_head = weighted_average_head_latency(general_topo, g)
         aware = optimize_application_aware(g, n, 2, params=QUICK, rng=2)
@@ -187,7 +189,9 @@ class TestOptimizeApplicationAware:
                 g[a, b] = 1.0
                 count += 1
         params = AnnealingParams(total_moves=1_500, moves_per_cooldown=300)
-        general = solve_row_problem(n, 4, params=params, rng=1)
+        from repro.api import SearchConfig
+
+        general = solve_row_problem(n, 4, params=params, config=SearchConfig(seed=1))
         general_topo = MeshTopology.uniform(general.placement)
         general_head = weighted_average_head_latency(general_topo, g)
         aware = optimize_application_aware(g, n, 4, params=params, rng=1)

@@ -88,7 +88,11 @@ class TestFigure12Instances:
 
         obj = RowObjective()
         exact = exhaustive_matrix_search(4, 2, obj)
-        dc = solve_row_problem(4, 2, method="dc_sa", objective=obj, rng=3)
+        from repro.api import SearchConfig
+
+        dc = solve_row_problem(
+            4, 2, method="dc_sa", objective=obj, config=SearchConfig(seed=3)
+        )
         assert dc.energy == pytest.approx(exact.energy)
 
     def test_p82_dc_sa_matches_optimal(self):
@@ -97,12 +101,14 @@ class TestFigure12Instances:
 
         obj = RowObjective()
         exact = exhaustive_matrix_search(8, 2, obj)
+        from repro.api import SearchConfig
+
         dc = solve_row_problem(
             8,
             2,
             method="dc_sa",
             objective=obj,
             params=AnnealingParams(total_moves=2_000, moves_per_cooldown=500),
-            rng=3,
+            config=SearchConfig(seed=3),
         )
         assert dc.energy == pytest.approx(exact.energy)

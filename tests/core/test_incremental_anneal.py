@@ -103,11 +103,11 @@ class TestObservability:
 
 class TestEndToEnd:
     def test_optimize_sweep_parity(self):
-        base = optimize(8, params=SMOKE, config=SearchConfig(seed=41))
+        base = optimize(8, params=SMOKE, config=SearchConfig(seed=41)).sweep
         incr = optimize(
             8, params=SMOKE,
             config=SearchConfig(seed=41, incremental=True, resync_every=50),
-        )
+        ).sweep
         assert base.best.link_limit == incr.best.link_limit
         for c, sol in base.solutions.items():
             assert incr.solutions[c].placement == sol.placement

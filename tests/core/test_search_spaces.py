@@ -418,7 +418,9 @@ class TestSolveAndOptimize:
 
     def test_optimize_routes_by_config_space(self):
         cfg = SearchConfig(seed=1, max_evaluations=60, space="hetero")
-        sweep = optimize(4, config=cfg)
+        res = optimize(4, config=cfg)
+        assert res.space == "hetero"
+        sweep = res.sweep
         assert isinstance(sweep, SpaceSweepResult)
         assert sweep.space == "hetero"
         assert set(sweep.points) == {1, 2, 4}
@@ -474,6 +476,13 @@ class TestSearchConfigSpace:
             SearchConfig(space="grid2d", jobs=2)
         SearchConfig(space="grid2d", chains=3)  # chains are fine
 
-    def test_place_express_links_guards_space(self):
-        with pytest.raises(ConfigurationError):
-            place_express_links(4, config=SearchConfig(space="hetero"))
+    def test_place_express_links_supports_mesh_spaces(self):
+        # The facade used to reject non-row spaces; the unified result
+        # type made the guard obsolete -- every space returns the same
+        # PlacementResult shape now.
+        res = place_express_links(
+            4, config=SearchConfig(space="hetero", seed=1, max_evaluations=40)
+        )
+        assert res.space == "hetero"
+        assert res.link_limit in (1, 2, 4)
+        assert res.express_links == res.placement.express_chords()

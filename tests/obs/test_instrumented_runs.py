@@ -193,9 +193,11 @@ class TestDeterminism:
         assert observed.trace == baseline.trace
 
     def test_solve_row_problem_bit_identical_with_profiling(self):
-        a = solve_row_problem(8, 3, rng=11, params=PARAMS)
+        from repro.api import SearchConfig
+
+        a = solve_row_problem(8, 3, params=PARAMS, config=SearchConfig(seed=11))
         b = solve_row_problem(
-            8, 3, rng=11, params=PARAMS,
+            8, 3, params=PARAMS, config=SearchConfig(seed=11),
             obs=Instrumentation(sinks=[MemorySink()], profile=True),
         )
         assert a.energy == b.energy
@@ -224,12 +226,14 @@ class TestParallelDeterminism:
     PARAMS = AnnealingParams(total_moves=200, moves_per_cooldown=100)
 
     def run_parallel(self, jobs, sink=None):
+        from repro.api import SearchConfig
         from repro.core.optimizer import optimize
 
         obs = Instrumentation(sinks=[sink] if sink is not None else [])
         sweep = optimize(
-            6, params=self.PARAMS, rng=2019, restarts=2, jobs=jobs, obs=obs
-        )
+            6, params=self.PARAMS, obs=obs,
+            config=SearchConfig(seed=2019, restarts=2, jobs=jobs),
+        ).sweep
         return sweep, obs
 
     @staticmethod

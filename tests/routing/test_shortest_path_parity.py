@@ -9,8 +9,9 @@ same strict ``<``, so exact equality is the contract, not an
 approximation.
 
 The second half proves the parallel engine is an execution detail: for
-a fixed seed, ``optimize(..., restarts=R, jobs=K)`` returns bit-wise
-the same design for every ``K``, including the inline ``K=1`` path.
+a fixed seed, ``optimize(..., config=SearchConfig(restarts=R, jobs=K))``
+returns bit-wise the same design for every ``K``, including the inline
+``K=1`` path.
 """
 
 import numpy as np
@@ -138,12 +139,19 @@ def test_objective_identical_under_both_impls():
         assert fast(placement) == ref(placement)
 
 
+def _parallel_sweep(n, seed, restarts, jobs, **kwargs):
+    from repro.api import SearchConfig
+
+    cfg = SearchConfig(seed=seed, restarts=restarts, jobs=jobs)
+    return optimize(n, params=SMALL, config=cfg, **kwargs).sweep
+
+
 class TestParallelEngineParity:
     """The jobs knob changes wall-clock only, never results."""
 
     def test_optimize_parallel_bit_identical_to_serial(self):
-        serial = optimize(8, params=SMALL, rng=2019, restarts=3, jobs=1)
-        fanned = optimize(8, params=SMALL, rng=2019, restarts=3, jobs=4)
+        serial = _parallel_sweep(8, seed=2019, restarts=3, jobs=1)
+        fanned = _parallel_sweep(8, seed=2019, restarts=3, jobs=4)
         assert serial.best.placement == fanned.best.placement
         assert serial.best.link_limit == fanned.best.link_limit
         assert serial.best.latency == fanned.best.latency
@@ -156,8 +164,8 @@ class TestParallelEngineParity:
 
     @pytest.mark.parametrize("jobs", [2, 3])
     def test_every_jobs_value_agrees(self, jobs):
-        base = optimize(6, params=SMALL, rng=7, restarts=2, jobs=1)
-        other = optimize(6, params=SMALL, rng=7, restarts=2, jobs=jobs)
+        base = _parallel_sweep(6, seed=7, restarts=2, jobs=1)
+        other = _parallel_sweep(6, seed=7, restarts=2, jobs=jobs)
         assert base.best == other.best
         assert base.restart_energies == other.restart_energies
 
@@ -174,9 +182,9 @@ class TestParallelEngineParity:
 
     def test_restart_seeds_are_independent_of_grid(self):
         # Dropping a C from the sweep must not shift other chains' seeds.
-        full = optimize(6, params=SMALL, rng=5, restarts=2, jobs=1)
-        partial = optimize(
-            6, params=SMALL, rng=5, restarts=2, jobs=1, link_limits=(2, 4)
+        full = _parallel_sweep(6, seed=5, restarts=2, jobs=1)
+        partial = _parallel_sweep(
+            6, seed=5, restarts=2, jobs=1, link_limits=(2, 4)
         )
         for c in (2, 4):
             assert full.solutions[c].placement == partial.solutions[c].placement
@@ -195,5 +203,7 @@ class TestParallelEngineParity:
         from repro.util.errors import ConfigurationError
 
         with pytest.raises(ConfigurationError):
-            optimize(6, params=SMALL, rng=np.random.default_rng(3),
-                     restarts=2, jobs=2)
+            parallel_row_search(
+                6, 2, params=SMALL, base_seed=np.random.default_rng(3),
+                restarts=2, jobs=2,
+            )

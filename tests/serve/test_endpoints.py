@@ -1,0 +1,445 @@
+"""In-process endpoint tests: ``ServeApp.handle`` without a socket.
+
+The app is transport-independent by design, so every route, rejection
+path and counter is pinned here with ``asyncio.run`` driving the
+coroutines directly -- the HTTP framing has its own suite.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import SearchConfig, evaluate_placement
+from repro.harness.designs import EFFORTS
+from repro.obs.ledger import RunLedger, optimize_params
+from repro.serve.server import JSON, TEXT, ServeApp
+from repro.serve.store import DesignStore
+from repro.topology.row import RowPlacement
+
+
+@pytest.fixture
+def app(tmp_path):
+    application = ServeApp(
+        DesignStore(str(tmp_path / "designs")),
+        capacity=4,
+        default_effort="smoke",
+        batch_window_s=0.001,
+    )
+    yield application
+    application.executor.shutdown(wait=True)
+
+
+async def _request(app, method, path, body=None):
+    payload = b"" if body is None else json.dumps(body).encode()
+    status, ctype, data, headers = await app.handle(method, path, payload)
+    parsed = json.loads(data) if ctype == JSON else data.decode()
+    return status, parsed, headers
+
+
+def _counters(app):
+    return app.metrics.snapshot()["counters"]
+
+
+PLACE = {"n": 6, "effort": "smoke"}
+
+
+class TestPlace:
+    def test_miss_then_hit_identical(self, app):
+        async def scenario():
+            first = await _request(app, "POST", "/place", PLACE)
+            second = await _request(app, "POST", "/place", PLACE)
+            return first, second
+
+        (s1, b1, _), (s2, b2, _) = asyncio.run(scenario())
+        assert (s1, s2) == (200, 200)
+        assert b1["cache"] == "miss"
+        assert b2["cache"] == "hit"
+        # The exact-hit contract: everything but the cache tag is
+        # byte-identical, including the float-hex result payload.
+        assert b1["result"] == b2["result"]
+        assert b1["key"] == b2["key"]
+        assert b1["result_digest"] == b2["result_digest"]
+        assert len(app.store) == 1
+        counters = _counters(app)
+        assert counters["serve.cache.miss"] == 1
+        assert counters["serve.cache.hit"] == 1
+
+    def test_served_key_is_cli_run_id(self, app):
+        status, body, _ = asyncio.run(
+            _request(app, "POST", "/place", PLACE)
+        )
+        assert status == 200
+        cfg = SearchConfig(seed=2019)
+        params = optimize_params(6, "dc_sa", "smoke", cfg.space)
+        assert body["key"] == app.store.key_for(
+            "optimize", params, cfg, cfg.seed
+        )
+
+    def test_single_flight_computes_once(self, app):
+        async def scenario():
+            return await asyncio.gather(
+                *(_request(app, "POST", "/place", PLACE) for _ in range(4))
+            )
+
+        responses = asyncio.run(scenario())
+        assert [status for status, _, _ in responses] == [200] * 4
+        bodies = [body for _, body, _ in responses]
+        assert {body["key"] for body in bodies} == {bodies[0]["key"]}
+        assert all(b["result"] == bodies[0]["result"] for b in bodies)
+        assert sorted(b["cache"] for b in bodies) == [
+            "coalesced", "coalesced", "coalesced", "miss"
+        ]
+        assert len(app.store) == 1
+        counters = _counters(app)
+        assert counters["serve.cache.miss"] == 1
+        assert counters["serve.cache.coalesced"] == 3
+
+    def test_cache_counters_account_for_every_request(self, app):
+        async def scenario():
+            await asyncio.gather(
+                *(_request(app, "POST", "/place", PLACE) for _ in range(3))
+            )
+            await _request(app, "POST", "/place", PLACE)  # hit
+            await _request(  # second identity: miss (or warm)
+                app, "POST", "/place", dict(PLACE, config={"seed": 7})
+            )
+
+        asyncio.run(scenario())
+        counters = _counters(app)
+        classified = sum(
+            counters.get(f"serve.cache.{c}", 0)
+            for c in ("hit", "miss", "warm", "coalesced")
+        )
+        assert classified == counters["serve.request.place"] == 5
+
+    def test_warm_start_from_cached_neighbor(self, app):
+        async def scenario():
+            await _request(app, "POST", "/place",
+                           dict(PLACE, config={"seed": 7}))
+            return await _request(app, "POST", "/place", PLACE)
+
+        status, body, _ = asyncio.run(scenario())
+        assert status == 200
+        assert body["cache"] == "warm"
+        assert body["warm_from"] is not None
+        assert body["warm_from"] != body["key"]
+        assert body["warm_from"] in app.store
+
+    def test_warm_false_disables_neighbor_lookup(self, app):
+        async def scenario():
+            await _request(app, "POST", "/place",
+                           dict(PLACE, config={"seed": 7}))
+            return await _request(app, "POST", "/place",
+                                  dict(PLACE, warm=False))
+
+        status, body, _ = asyncio.run(scenario())
+        assert status == 200
+        assert body["cache"] == "miss"
+        assert body["warm_from"] is None
+
+    def test_deadline_504_but_compute_continues(self, app):
+        async def scenario():
+            status, body, _ = await _request(
+                app, "POST", "/place", dict(PLACE, deadline_s=1e-4)
+            )
+            # The shielded computation outlives the 504: wait for it,
+            # then the design must be in the cache.
+            await asyncio.gather(
+                *list(app._inflight.values()), return_exceptions=True
+            )
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 504
+        assert "continues" in body["error"]
+        assert len(app.store) == 1
+        assert _counters(app)["serve.rejected.deadline"] == 1
+
+    def test_backpressure_429(self, tmp_path):
+        app = ServeApp(DesignStore(str(tmp_path / "d")), capacity=0,
+                       default_effort="smoke")
+        try:
+            status, body, headers = asyncio.run(
+                _request(app, "POST", "/place", PLACE)
+            )
+        finally:
+            app.executor.shutdown(wait=True)
+        assert status == 429
+        assert headers["Retry-After"] == "1"
+        assert "capacity" in body["error"]
+
+    def test_draining_503(self, app):
+        app.draining = True
+        status, body, headers = asyncio.run(
+            _request(app, "POST", "/place", PLACE)
+        )
+        assert status == 503
+        assert headers["Retry-After"] == "5"
+
+    @pytest.mark.parametrize("body,fragment", [
+        ({"effort": "smoke"}, "requires 'n'"),
+        ({"n": 1}, "n must be an integer >= 2"),
+        ({"n": "six"}, "n must be an integer >= 2"),
+        ({"n": 6, "effort": "warp"}, "unknown effort"),
+        ({"n": 6, "budget": 3}, "unknown /place field"),
+        ({"n": 6, "link_limits": []}, "link_limits"),
+        ({"n": 6, "link_limits": [0]}, "link_limits"),
+        ({"n": 6, "deadline_s": -1}, "deadline_s"),
+        ({"n": 6, "config": {"seeed": 1}}, "unknown SearchConfig field"),
+    ])
+    def test_bad_requests_400(self, app, body, fragment):
+        status, parsed, _ = asyncio.run(
+            _request(app, "POST", "/place", dict(body, effort=body.get(
+                "effort", "smoke")))
+        )
+        assert status == 400
+        assert fragment in parsed["error"]
+        assert _counters(app)["serve.errors.bad_request"] == 1
+
+    def test_malformed_json_400(self, app):
+        async def scenario():
+            return await app.handle("POST", "/place", b"{nope")
+
+        status, _, data, _ = asyncio.run(scenario())
+        assert status == 400
+        assert b"not valid JSON" in data
+
+
+class TestEvaluate:
+    def test_matches_unbatched_scalar(self, app):
+        links = [[0, 3], [1, 4]]
+        status, body, _ = asyncio.run(_request(
+            app, "POST", "/evaluate",
+            {"n": 6, "express_links": links, "link_limit": 4},
+        ))
+        assert status == 200
+        expected = evaluate_placement(
+            RowPlacement(6, frozenset({(0, 3), (1, 4)})), link_limit=4
+        )
+        assert body["result"] == expected.to_json()
+
+    def test_placement_row_hex_input(self, app):
+        placement = RowPlacement(6, frozenset({(0, 4)}))
+        status, body, _ = asyncio.run(_request(
+            app, "POST", "/evaluate",
+            {"placement_row": placement.canonical_bytes().hex(),
+             "link_limit": 2},
+        ))
+        assert status == 200
+        assert body["placement_row"] == placement.canonical_bytes().hex()
+        assert body["result"] == evaluate_placement(
+            placement, link_limit=2
+        ).to_json()
+
+    def test_concurrent_requests_batch_once(self, app):
+        placements = [
+            RowPlacement(6, frozenset()),
+            RowPlacement(6, frozenset({(0, 2)})),
+            RowPlacement(6, frozenset({(0, 3)})),
+            RowPlacement(6, frozenset({(1, 5)})),
+            RowPlacement(6, frozenset({(2, 4), (0, 5)})),
+        ]
+
+        async def scenario():
+            return await asyncio.gather(*(
+                _request(app, "POST", "/evaluate", {
+                    "n": 6,
+                    "express_links": [list(l) for l in p.express_links],
+                    "link_limit": 4,
+                })
+                for p in placements
+            ))
+
+        responses = asyncio.run(scenario())
+        counters = _counters(app)
+        assert counters["serve.evaluate.batches"] == 1
+        assert counters["serve.evaluate.requests"] == 5
+        for p, (status, body, _) in zip(placements, responses):
+            assert status == 200
+            assert body["result"] == evaluate_placement(
+                p, link_limit=4
+            ).to_json()
+
+    def test_mixed_sizes_in_one_batch(self, app):
+        async def scenario():
+            return await asyncio.gather(
+                _request(app, "POST", "/evaluate",
+                         {"n": 4, "express_links": [[0, 2]]}),
+                _request(app, "POST", "/evaluate",
+                         {"n": 8, "express_links": [[0, 5]]}),
+            )
+
+        (s1, b1, _), (s2, b2, _) = asyncio.run(scenario())
+        assert (s1, s2) == (200, 200)
+        assert b1["result"] == evaluate_placement(
+            RowPlacement(4, frozenset({(0, 2)}))
+        ).to_json()
+        assert b2["result"] == evaluate_placement(
+            RowPlacement(8, frozenset({(0, 5)}))
+        ).to_json()
+
+    def test_weighted_evaluate(self, app):
+        weights = [[1.0] * 6 for _ in range(6)]
+        status, body, _ = asyncio.run(_request(
+            app, "POST", "/evaluate",
+            {"n": 6, "express_links": [[0, 3]], "weights": weights},
+        ))
+        assert status == 200
+        assert body["result"] == evaluate_placement(
+            RowPlacement(6, frozenset({(0, 3)})),
+            weights=weights,
+        ).to_json()
+
+    @pytest.mark.parametrize("body,fragment", [
+        ({"link_limit": 2}, "requires 'placement_row'"),
+        ({"n": 6, "express_links": "0,3"}, "express_links"),
+        ({"n": 6, "link_limit": 0}, "link_limit"),
+        ({"n": 6, "weights": [[1.0]]}, "weights must be 6x6"),
+        ({"n": 6, "weights": [[0.0] * 6] * 6}, "positive sum"),
+        ({"n": 6, "weights": "dense"}, "weights"),
+        ({"n": 6, "unknown_knob": 1}, "unknown /evaluate field"),
+    ])
+    def test_bad_requests_400(self, app, body, fragment):
+        status, parsed, _ = asyncio.run(
+            _request(app, "POST", "/evaluate", body)
+        )
+        assert status == 400
+        assert fragment in parsed["error"]
+
+    def test_limit_violation_400_without_failing_batchmates(self, app):
+        crowded = RowPlacement(
+            6, frozenset({(0, 2), (0, 3), (0, 4), (0, 5), (1, 3)})
+        )
+
+        async def scenario():
+            return await asyncio.gather(
+                _request(app, "POST", "/evaluate", {
+                    "n": 6,
+                    "express_links": [list(l) for l in crowded.express_links],
+                    "link_limit": 1,
+                }),
+                _request(app, "POST", "/evaluate",
+                         {"n": 6, "express_links": [[0, 3]],
+                          "link_limit": 2}),
+            )
+
+        (s1, b1, _), (s2, b2, _) = asyncio.run(scenario())
+        assert s1 == 400
+        assert s2 == 200
+        assert b2["result"] == evaluate_placement(
+            RowPlacement(6, frozenset({(0, 3)})), link_limit=2
+        ).to_json()
+
+    def test_draining_503(self, app):
+        app.draining = True
+        status, _, headers = asyncio.run(_request(
+            app, "POST", "/evaluate", {"n": 6, "express_links": []}
+        ))
+        assert status == 503
+        assert headers["Retry-After"] == "5"
+
+
+class TestCampaign:
+    def test_small_grid(self, app):
+        status, body, _ = asyncio.run(_request(app, "POST", "/campaign", {
+            "n": 4,
+            "schemes": ["mesh"],
+            "patterns": ["uniform_random"],
+            "rates": [0.05],
+            "warmup": 20,
+            "measure": 100,
+        }))
+        assert status == 200
+        assert body["runs"] == 1
+        (row,) = body["results"]
+        assert row["scheme"] == "Mesh"  # the design's display name
+        assert row["pattern"] == "uniform_random"
+        assert row["packets"] > 0
+        assert body["result_digest"]
+
+    def test_unknown_field_400(self, app):
+        status, body, _ = asyncio.run(_request(
+            app, "POST", "/campaign", {"n": 4, "turbo": True}
+        ))
+        assert status == 400
+        assert "unknown /campaign field" in body["error"]
+
+
+class TestRunsAndMetrics:
+    def test_place_records_ledger_manifest(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs"))
+        app = ServeApp(DesignStore(str(tmp_path / "designs")),
+                       ledger=ledger, default_effort="smoke")
+        try:
+            async def scenario():
+                _, placed, _ = await _request(app, "POST", "/place", PLACE)
+                return placed, await _request(
+                    app, "GET", f"/runs/{placed['key']}"
+                )
+
+            placed, (status, manifest, _) = asyncio.run(scenario())
+        finally:
+            app.executor.shutdown(wait=True)
+        assert status == 200
+        assert manifest["run_id"] == placed["key"]
+        assert manifest["result_digest"] == placed["result_digest"]
+        assert manifest["kind"] == "optimize"
+
+    def test_unknown_run_404(self, tmp_path):
+        app = ServeApp(DesignStore(str(tmp_path / "designs")),
+                       ledger=RunLedger(str(tmp_path / "runs")))
+        try:
+            status, body, _ = asyncio.run(
+                _request(app, "GET", "/runs/feedfacedeadbeef")
+            )
+        finally:
+            app.executor.shutdown(wait=True)
+        assert status == 404
+
+    def test_runs_without_ledger_404(self, app):
+        status, body, _ = asyncio.run(_request(app, "GET", "/runs/abc"))
+        assert status == 404
+        assert "ledger" in body["error"]
+
+    def test_metrics_prometheus_text(self, app):
+        async def scenario():
+            await _request(app, "POST", "/place", PLACE)
+            return await app.handle("GET", "/metrics")
+
+        status, ctype, data, _ = asyncio.run(scenario())
+        assert status == 200
+        assert ctype == TEXT
+        text = data.decode()
+        assert 'repro_serve_cache_miss{service="repro-serve"} 1' in text
+        assert 'repro_serve_request_place{service="repro-serve"} 1' in text
+
+    def test_healthz(self, app):
+        status, body, _ = asyncio.run(_request(app, "GET", "/healthz"))
+        assert status == 200
+        assert body == {"status": "ok", "inflight": 0, "cached_designs": 0}
+        app.draining = True
+        _, body, _ = asyncio.run(_request(app, "GET", "/healthz"))
+        assert body["status"] == "draining"
+
+    def test_unknown_route_404(self, app):
+        status, body, _ = asyncio.run(_request(app, "GET", "/nope"))
+        assert status == 404
+        status, body, _ = asyncio.run(_request(app, "PUT", "/place", {}))
+        assert status == 404
+
+
+class TestShutdown:
+    def test_shutdown_drains_inflight_work(self, app):
+        async def scenario():
+            place = asyncio.ensure_future(
+                _request(app, "POST", "/place", PLACE)
+            )
+            await asyncio.sleep(0.05)  # let the compute start
+            await app.shutdown()
+            return await place
+
+        status, body, _ = asyncio.run(scenario())
+        assert status == 200
+        assert len(app.store) == 1
+        assert app.idle

@@ -1,4 +1,4 @@
-"""The public facade: SearchConfig, results, and the deprecation shim."""
+"""The public facade: SearchConfig, results, legacy-kwarg rejection."""
 
 import dataclasses
 
@@ -13,7 +13,6 @@ from repro import (
     place_express_links,
     solve_row_problem,
 )
-from repro.api import reset_legacy_warnings
 from repro.core.annealing import AnnealingParams
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
@@ -98,46 +97,38 @@ class TestSearchConfig:
         assert SearchConfig.from_cli(ns) == SearchConfig(seed=5)
 
 
-class TestLegacyShim:
-    def setup_method(self):
-        reset_legacy_warnings()
+class TestLegacyKwargsRejected:
+    """The deprecation shim is gone: retired keywords hard-error with a
+    migration hint naming the :class:`SearchConfig` field."""
 
-    def test_legacy_rng_warns_once_per_process(self):
-        with pytest.warns(DeprecationWarning, match="docs/api.md"):
-            a = solve_row_problem(6, 2, params=SMOKE, rng=1)
-        # Second call: shim stays silent.
-        import warnings
+    def test_rng_errors_with_migration_hint(self):
+        with pytest.raises(TypeError, match=r"rng= -> SearchConfig\(seed=\.\.\.\)"):
+            solve_row_problem(6, 2, params=SMOKE, rng=1)
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            b = solve_row_problem(6, 2, params=SMOKE, rng=1)
-        assert a.placement == b.placement
+    def test_hint_points_at_docs(self):
+        with pytest.raises(TypeError, match="docs/api.md"):
+            optimize(6, params=SMOKE, rng=11)
 
-    def test_legacy_and_config_match_bit_for_bit(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = optimize(6, params=SMOKE, rng=11)
-        fresh = optimize(6, params=SMOKE, config=SearchConfig(seed=11))
-        assert legacy.best.link_limit == fresh.best.link_limit
-        for c, sol in legacy.solutions.items():
-            assert sol.placement == fresh.solutions[c].placement
-            assert sol.energy == fresh.solutions[c].energy
+    def test_every_retired_keyword_names_its_field(self):
+        from repro.api import LEGACY_KWARG_MIGRATIONS
 
-    def test_mixing_config_and_legacy_rejected(self):
-        with pytest.raises(ConfigurationError, match="not both"):
-            solve_row_problem(
-                6, 2, params=SMOKE, config=SearchConfig(seed=1), rng=1
-            )
+        for legacy, field in LEGACY_KWARG_MIGRATIONS.items():
+            with pytest.raises(
+                TypeError,
+                match=rf"{legacy}= -> SearchConfig\({field}=\.\.\.\)",
+            ):
+                optimize(6, params=SMOKE, **{legacy: 1})
 
-    def test_unknown_keyword_still_a_type_error(self):
-        with pytest.raises(TypeError, match="seeed"):
+    def test_multiple_retired_keywords_listed_together(self):
+        with pytest.raises(TypeError) as exc:
+            optimize(6, params=SMOKE, rng=1, restarts=3)
+        msg = str(exc.value)
+        assert "'rng'" in msg and "'restarts'" in msg
+
+    def test_unknown_keyword_still_a_plain_type_error(self):
+        with pytest.raises(TypeError, match="seeed") as exc:
             solve_row_problem(6, 2, params=SMOKE, seeed=1)
-
-    def test_reset_makes_the_warning_fire_again(self):
-        with pytest.warns(DeprecationWarning):
-            solve_row_problem(6, 2, params=SMOKE, rng=1)
-        reset_legacy_warnings()
-        with pytest.warns(DeprecationWarning):
-            solve_row_problem(6, 2, params=SMOKE, rng=1)
+        assert "SearchConfig" not in str(exc.value)  # typos look like typos
 
 
 class TestPlaceExpressLinks:
@@ -157,10 +148,12 @@ class TestPlaceExpressLinks:
 
     def test_matches_raw_optimize(self):
         res = place_express_links(6, config=SearchConfig(seed=9), params=SMOKE)
-        sweep = optimize(6, params=SMOKE, config=SearchConfig(seed=9))
-        assert res.placement == sweep.best.placement
-        assert res.link_limit == sweep.best.link_limit
-        assert res.sweep is not None
+        other = optimize(6, params=SMOKE, config=SearchConfig(seed=9))
+        assert isinstance(other, PlacementResult)
+        assert res.placement == other.placement
+        assert res.link_limit == other.link_limit
+        assert res.energy == other.energy
+        assert res.sweep is not None and other.sweep is not None
 
     def test_incremental_config_same_design(self):
         base = place_express_links(6, config=SearchConfig(seed=5), params=SMOKE)

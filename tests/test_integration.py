@@ -30,7 +30,12 @@ QUICK = AnnealingParams(total_moves=800, moves_per_cooldown=200)
 
 @pytest.fixture(scope="module")
 def sweep8():
-    return optimize(8, method="dc_sa", params=QUICK, rng=7, link_limits=(1, 2, 4))
+    from repro.api import SearchConfig
+
+    return optimize(
+        8, method="dc_sa", params=QUICK, link_limits=(1, 2, 4),
+        config=SearchConfig(seed=7),
+    ).sweep
 
 
 class TestOptimizeToSimulate:
@@ -101,10 +106,13 @@ class TestParsecEndToEnd:
 
 class TestReadmeQuickstart:
     def test_documented_flow(self):
-        sweep = optimize(4, method="dc_sa", params=QUICK, rng=2019)
-        best = sweep.best
-        assert best.link_limit in (1, 2, 4)
-        topology = MeshTopology.uniform(best.placement)
+        from repro.api import SearchConfig
+
+        result = optimize(
+            4, method="dc_sa", params=QUICK, config=SearchConfig(seed=2019)
+        )
+        assert result.link_limit in (1, 2, 4)
+        topology = MeshTopology.uniform(result.placement)
         assert topology.num_nodes == 16
 
 
@@ -113,9 +121,17 @@ class TestCrossSolverConsistency:
         from repro import exhaustive_matrix_search, solve_row_problem
         from repro.core.latency import RowObjective
 
+        from repro.api import SearchConfig
+
         obj = RowObjective()
         exact = exhaustive_matrix_search(5, 2, obj)
-        dc = solve_row_problem(5, 2, method="dc_sa", objective=obj, params=QUICK, rng=1)
-        only = solve_row_problem(5, 2, method="only_sa", objective=obj, params=QUICK, rng=1)
+        dc = solve_row_problem(
+            5, 2, method="dc_sa", objective=obj, params=QUICK,
+            config=SearchConfig(seed=1),
+        )
+        only = solve_row_problem(
+            5, 2, method="only_sa", objective=obj, params=QUICK,
+            config=SearchConfig(seed=1),
+        )
         assert dc.energy == pytest.approx(exact.energy)
         assert only.energy == pytest.approx(exact.energy)

@@ -60,11 +60,13 @@ class TestDesignPointIO:
 
 class TestSweepIO:
     def test_round_trip(self, tmp_path):
+        from repro.api import SearchConfig
+
         sweep = optimize(
             4,
             params=AnnealingParams(total_moves=200, moves_per_cooldown=50),
-            rng=1,
-        )
+            config=SearchConfig(seed=1),
+        ).sweep
         save_sweep(sweep, tmp_path / "sweep.json")
         again = load_sweep(tmp_path / "sweep.json")
         assert again.n == sweep.n
