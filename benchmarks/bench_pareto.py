@@ -1,0 +1,95 @@
+"""Pareto co-design fronts: size, hypervolume and pricing throughput.
+
+Sweeps the latency/power front for the paper's 8x8 mesh across
+C in {2, 3, 4} under uniform and PARSEC-modeled (blackscholes)
+traffic, publishing front size and hypervolume per scenario as the
+machine-readable twin -- the regression signal for the multi-objective
+layer (a shrinking hypervolume at fixed seed and budget means the
+search got worse).  Times the batched vector-pricing kernel.
+"""
+
+import pytest
+
+from repro.api import SearchConfig
+from repro.core.annealing import AnnealingParams
+from repro.core.pareto import ParetoPricer, ParetoSpec, pareto_front
+from repro.harness.tables import render_table
+from repro.topology.row import RowPlacement
+from repro.traffic.parsec import PARSEC_WORKLOADS, workload_gamma
+
+from benchmarks.conftest import SEED, publish, sa_effort
+
+LIMITS = (2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def fronts():
+    paper = sa_effort() == "paper"
+    params = (
+        None if paper
+        else AnnealingParams(total_moves=1_500, moves_per_cooldown=300)
+    )
+    config = SearchConfig(seed=SEED)
+    scenarios = {}
+    for traffic in ("uniform", "blackscholes"):
+        gamma = (
+            None if traffic == "uniform"
+            else workload_gamma(PARSEC_WORKLOADS[traffic], 8)
+        )
+        scenarios[traffic] = {
+            c: pareto_front(
+                8, c, objectives=("latency", "power"), driver="epsilon",
+                gamma=gamma, params=params, config=config,
+                points=5 if paper else 2,
+            )
+            for c in LIMITS
+        }
+    return scenarios
+
+
+def test_pareto_fronts(benchmark, fronts, capsys):
+    rows = []
+    record = {"n": 8, "objectives": ["latency", "power"], "scenarios": {}}
+    for traffic, per_c in fronts.items():
+        for c, front in sorted(per_c.items()):
+            hv = front.hypervolume()
+            rows.append([
+                traffic, c, len(front.points), front.evaluations,
+                f"{hv:.6g}",
+                f"{min(p.values[0] for p in front.points):.4f}",
+                f"{min(p.values[1] for p in front.points):.4f}",
+            ])
+            record["scenarios"].setdefault(traffic, {})[str(c)] = {
+                "front_size": len(front.points),
+                "evaluations": front.evaluations,
+                "hypervolume": hv,
+                "best_latency": min(p.values[0] for p in front.points),
+                "best_power_w": min(p.values[1] for p in front.points),
+            }
+    text = render_table(
+        "8x8 latency/power Pareto fronts (epsilon driver)",
+        ["traffic", "C", "front", "priced", "hypervolume",
+         "best L_D", "best W"],
+        rows,
+    )
+    publish(capsys, "pareto_fronts", text, record)
+
+    for per_c in fronts.values():
+        for front in per_c.values():
+            assert front.points
+            # A real tradeoff: more than one nondominated point, and
+            # the dominated volume is nonzero.
+            assert len(front.points) >= 2
+            assert front.hypervolume() > 0
+
+    spec = ParetoSpec(
+        n=8, link_limit=2, objectives=("latency", "power"),
+    )
+    population = [RowPlacement.mesh(8)] + [
+        RowPlacement(8, frozenset({(0, k)})) for k in range(2, 8)
+    ]
+
+    def price_cold():
+        ParetoPricer(spec).price_many(population)
+
+    benchmark(price_cold)

@@ -48,6 +48,11 @@ from repro.core import (
     best_rectangular,
     naive_anneal,
     solve_row_problem,
+    ParetoFront,
+    ParetoPoint,
+    hypervolume,
+    pareto_front,
+    pareto_sweep,
 )
 from repro.routing import HopCostModel, RoutingTables, compute_route, is_deadlock_free
 from repro.sim import (
@@ -110,6 +115,11 @@ __all__ = [
     "best_rectangular",
     "naive_anneal",
     "solve_row_problem",
+    "ParetoFront",
+    "ParetoPoint",
+    "hypervolume",
+    "pareto_front",
+    "pareto_sweep",
     "HopCostModel",
     "RoutingTables",
     "compute_route",

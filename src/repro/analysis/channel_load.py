@@ -52,7 +52,15 @@ class ChannelLoadReport:
     max_ejection_load_per_packet: float = 0.0
 
     @property
-    def bottleneck(self) -> DirectedChannel:
+    def bottleneck(self) -> Optional[DirectedChannel]:
+        """The busiest channel, or ``None`` when no route uses any.
+
+        A report can legitimately carry an empty ``loads`` dict -- all
+        traffic self-addressed (zero-hop routes) or a single-node
+        topology -- so there is no bottleneck to name.
+        """
+        if not self.loads:
+            return None
         return max(self.loads, key=self.loads.get)
 
     @property
@@ -85,10 +93,17 @@ class ChannelLoadReport:
 
 
 def uniform_gamma(num_nodes: int) -> np.ndarray:
-    """The uniform-random traffic matrix (normalized to sum 1)."""
+    """The uniform-random traffic matrix (normalized to sum 1).
+
+    A single-node network has no destinations, so its matrix is all
+    zeros (rather than the ``0/0`` NaNs a blind normalization yields).
+    """
     g = np.ones((num_nodes, num_nodes))
     np.fill_diagonal(g, 0.0)
-    return g / g.sum()
+    total = g.sum()
+    if total <= 0:
+        return g
+    return g / total
 
 
 def channel_loads(
@@ -159,12 +174,32 @@ def bisection_loads(
 
 
 def load_balance_stats(report: ChannelLoadReport) -> Dict[str, float]:
-    """Summary statistics of the load distribution."""
-    values = np.array(list(report.loads.values()))
+    """Summary statistics of the load distribution.
+
+    Defined for every report: with no loaded channels all statistics
+    are zero (a perfectly idle network is trivially balanced), and a
+    zero mean with a nonzero max yields ``imbalance = inf`` instead of
+    a division error.
+    """
+    values = np.array(list(report.loads.values()), dtype=float)
+    if values.size == 0:
+        return {
+            "channels": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+            "p95": 0.0,
+            "imbalance": 0.0,
+        }
+    mean = float(values.mean())
+    peak = float(values.max())
+    if mean > 0:
+        imbalance = peak / mean
+    else:
+        imbalance = 0.0 if peak <= 0 else float("inf")
     return {
         "channels": float(len(values)),
-        "mean": float(values.mean()),
-        "max": float(values.max()),
+        "mean": mean,
+        "max": peak,
         "p95": float(np.percentile(values, 95)),
-        "imbalance": float(values.max() / values.mean()),
+        "imbalance": imbalance,
     }

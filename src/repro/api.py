@@ -38,6 +38,8 @@ from repro.util.errors import ConfigurationError
 
 __all__ = [
     "SEARCH_SPACES",
+    "OBJECTIVES",
+    "PARETO_DRIVERS",
     "RESULT_SCHEMA",
     "SearchConfig",
     "PlacementResult",
@@ -54,6 +56,11 @@ __all__ = [
     "run_campaign",
     "run_until",
     "campaign_grid",
+    # Pareto co-design (lazily re-exported from repro.core.pareto).
+    "ParetoFront",
+    "ParetoPoint",
+    "pareto_front",
+    "hypervolume",
 ]
 
 #: Campaign API names re-exported from :mod:`repro.sim.campaign`.
@@ -65,12 +72,23 @@ _CAMPAIGN_EXPORTS = frozenset({
     "run_campaign", "run_until", "campaign_grid",
 })
 
+#: Pareto co-design names re-exported from :mod:`repro.core.pareto`,
+#: lazily for the same reason: the front-search drivers ride the
+#: search stack, which imports this module for :class:`SearchConfig`.
+_PARETO_EXPORTS = frozenset({
+    "ParetoFront", "ParetoPoint", "pareto_front", "hypervolume",
+})
+
 
 def __getattr__(name: str):
     if name in _CAMPAIGN_EXPORTS:
         from repro.sim import campaign
 
         return getattr(campaign, name)
+    if name in _PARETO_EXPORTS:
+        from repro.core import pareto
+
+        return getattr(pareto, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -79,6 +97,18 @@ def __getattr__(name: str):
 #: in :mod:`repro.core.search_space`) so :class:`SearchConfig` can
 #: validate without importing the search stack.
 SEARCH_SPACES = ("row", "hetero", "grid2d")
+
+#: Pareto objective axes a placement can be priced on (all minimized):
+#: traffic-weighted mean row head latency, the static+dynamic power
+#: proxy, total router area, and the worst-case channel-load saturation
+#: bound.  Defined here (not in :mod:`repro.core.pareto`) so
+#: :class:`SearchConfig` can validate without importing the front-search
+#: stack.
+OBJECTIVES = ("latency", "power", "area", "channel_load")
+
+#: Front-search drivers: the ε-constraint sweep over the scalar
+#: backends and the NSGA-II-style population loop.
+PARETO_DRIVERS = ("epsilon", "nsga2")
 
 #: Version stamp of the shared JSON schema (:meth:`SearchConfig.to_json`,
 #: :meth:`PlacementResult.to_json`, :meth:`EvalResult.to_json`).  Bump
@@ -172,6 +202,14 @@ class SearchConfig:
         mesh-level spaces run through the generic SA kernels, so they
         support ``chains`` but not the row-only ``incremental`` engine
         or the multi-process ``restarts``/``jobs`` fan-out.
+    objectives:
+        Pareto objective axes for :func:`repro.pareto_front` (subset of
+        :data:`OBJECTIVES`, order defines the value-vector layout).
+        Empty for scalar searches.
+    pareto:
+        Front-search driver (one of :data:`PARETO_DRIVERS`): the
+        ε-constraint sweep or the NSGA-II-style population loop.
+        Requires ``objectives`` and the row space.
     """
 
     seed: Optional[int] = None
@@ -187,8 +225,13 @@ class SearchConfig:
     profile: bool = False
     ledger: Optional[str] = None
     space: str = "row"
+    objectives: Tuple[str, ...] = ()
+    pareto: Optional[str] = None
 
     def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; normalize before validating
+        # so equality with a freshly-built config holds.
+        object.__setattr__(self, "objectives", tuple(self.objectives))
         if self.restarts < 1:
             raise ConfigurationError(f"restarts must be >= 1, got {self.restarts}")
         if self.jobs < 1:
@@ -219,6 +262,32 @@ class SearchConfig:
                 f"unknown search space {self.space!r}; expected one of "
                 f"{SEARCH_SPACES}"
             )
+        unknown_axes = [o for o in self.objectives if o not in OBJECTIVES]
+        if unknown_axes:
+            raise ConfigurationError(
+                f"unknown objective(s) {unknown_axes}; expected a subset "
+                f"of {OBJECTIVES}"
+            )
+        if len(set(self.objectives)) != len(self.objectives):
+            raise ConfigurationError(
+                f"duplicate objectives in {self.objectives}"
+            )
+        if self.pareto is not None:
+            if self.pareto not in PARETO_DRIVERS:
+                raise ConfigurationError(
+                    f"unknown pareto driver {self.pareto!r}; expected one "
+                    f"of {PARETO_DRIVERS}"
+                )
+            if not self.objectives:
+                raise ConfigurationError(
+                    "pareto searches need at least one objective axis "
+                    f"(objectives=, from {OBJECTIVES})"
+                )
+            if self.space != "row":
+                raise ConfigurationError(
+                    "pareto front search is row-space only: the mesh "
+                    "axes price replicated-row designs"
+                )
         if self.space != "row":
             if self.incremental:
                 raise ConfigurationError(
@@ -268,6 +337,8 @@ class SearchConfig:
             profile=getattr(args, "profile", defaults.profile),
             ledger=getattr(args, "ledger", defaults.ledger),
             space=getattr(args, "space", defaults.space),
+            objectives=tuple(getattr(args, "objectives", defaults.objectives)),
+            pareto=getattr(args, "pareto", defaults.pareto),
         )
 
     def with_updates(self, **changes: Any) -> "SearchConfig":
@@ -276,8 +347,15 @@ class SearchConfig:
 
     # -- JSON schema ---------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
-        """This config as a plain JSON-safe dict (all fields scalar)."""
-        return asdict(self)
+        """This config as a plain JSON-safe dict.
+
+        ``objectives`` serializes as a list (JSON has no tuples), so a
+        dict that made a round trip through real JSON compares equal
+        to a freshly-produced one; ``from_json`` re-coerces it.
+        """
+        data = asdict(self)
+        data["objectives"] = list(data["objectives"])
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping) -> "SearchConfig":

@@ -4,6 +4,9 @@ Gives downstream users the paper's flow without writing Python:
 
 * ``optimize`` -- sweep C and print the design table for one mesh size,
 * ``solve``    -- solve a single ``P~(n, C)`` instance,
+* ``pareto``   -- search the multi-objective Pareto front
+  (latency / power / area / channel load) per traffic scenario and C,
+  via an epsilon-constraint sweep or an NSGA-II population loop,
 * ``simulate`` -- run the cycle-accurate simulator on a chosen scheme,
 * ``simulate-sweep`` -- run a scheme x pattern x rate campaign grid,
   fanned over ``--jobs`` worker processes (identical tables for every
@@ -417,6 +420,123 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.core.pareto import pareto_front
+    from repro.obs.ledger import digest_parts, pareto_params
+    from repro.traffic.parsec import PARSEC_WORKLOADS, workload_gamma
+
+    # SearchConfig.from_cli reads args.objectives / args.pareto
+    # verbatim: turn the CSV flag into the axis tuple and alias the
+    # driver flag before the config is built (validation happens there).
+    args.objectives = tuple(
+        s.strip() for s in args.objectives.split(",") if s.strip()
+    )
+    args.pareto = args.driver
+    try:
+        limits = tuple(int(s) for s in str(args.c).split(",") if s.strip())
+    except ValueError:
+        print(f"error: bad --c list {args.c!r}", file=sys.stderr)
+        return 2
+    traffics = tuple(
+        s.strip() for s in args.traffic.split(",") if s.strip()
+    ) or ("uniform",)
+    for name in traffics:
+        if name != "uniform" and name not in PARSEC_WORKLOADS:
+            print(
+                f"error: unknown traffic {name!r}; expected 'uniform' or "
+                f"one of {PARSEC_NAMES}",
+                file=sys.stderr,
+            )
+            return 2
+    with _obs_session(args) as obs:
+        try:
+            cfg = SearchConfig.from_cli(args)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ledger = _ledger_for(args)
+        scenarios = []
+        for traffic in traffics:
+            gamma = (
+                None if traffic == "uniform"
+                else workload_gamma(PARSEC_WORKLOADS[traffic], args.n)
+            )
+            for c in limits:
+                ledger_params = pareto_params(
+                    args.n, c, args.method, args.effort, args.driver,
+                    cfg.objectives, traffic,
+                )
+                run_id = None
+                if ledger is not None:
+                    run_id = ledger.run_id_for(
+                        "pareto", ledger_params, cfg, cfg.seed
+                    )
+                    if obs is not None:
+                        obs.set_context(run_id=run_id)
+                start = time.perf_counter()
+                front = pareto_front(
+                    args.n, c,
+                    gamma=gamma,
+                    method=args.method,
+                    params=EFFORTS[args.effort],
+                    config=cfg,
+                    points=args.points,
+                    population=args.population,
+                    generations=args.generations,
+                    obs=obs,
+                )
+                wall = time.perf_counter() - start
+                front_json = front.to_json()
+                hv = front.hypervolume()
+                scenarios.append(
+                    {"traffic": traffic, "c": c, "front": front_json}
+                )
+                rows = [
+                    [i]
+                    + [f"{v:.4f}" for v in point.values]
+                    + [sorted(point.placement.express_links)]
+                    for i, point in enumerate(front.points)
+                ]
+                print(
+                    render_table(
+                        f"{args.n}x{args.n} C={c} Pareto front "
+                        f"({args.driver}, {traffic})",
+                        ["#", *front.objectives, "express links"],
+                        rows,
+                    )
+                )
+                print(f"  {len(front.points)} nondominated point(s) from "
+                      f"{front.evaluations} priced design(s); "
+                      f"hypervolume {hv:.6g}")
+                _record_run(
+                    ledger, obs, run_id, "pareto", ledger_params, cfg,
+                    cfg.seed, wall,
+                    results={
+                        "front_size": len(front.points),
+                        "evaluations": front.evaluations,
+                        "hypervolume": hv,
+                    },
+                    result_digest=digest_parts(
+                        json.dumps(front_json, sort_keys=True)
+                    ),
+                )
+        if args.out:
+            payload = {
+                "schema": 1,
+                "kind": "pareto_fronts",
+                "n": args.n,
+                "driver": args.driver,
+                "objectives": list(cfg.objectives),
+                "scenarios": scenarios,
+            }
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nfronts written to {args.out}")
+        _finish_obs(obs, args)
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     with _obs_session(args) as obs:
         design = _design_for(args.scheme, args.n, args.seed, args.effort)
@@ -810,6 +930,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"), default="dc_sa")
     _add_run_flags(p, search=True)
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "pareto",
+        help="multi-objective front search over latency/power/area/load",
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument(
+        "--c", default="2,3,4", metavar="LIST",
+        help="comma-separated cross-section limits (default 2,3,4)",
+    )
+    p.add_argument(
+        "--traffic", default="uniform", metavar="LIST",
+        help="comma-separated traffic scenarios: 'uniform' or PARSEC "
+        "workload names (one front per scenario x C)",
+    )
+    p.add_argument(
+        "--objectives", default="latency,power", metavar="LIST",
+        help="comma-separated objective axes "
+        "(latency, power, area, channel_load)",
+    )
+    p.add_argument(
+        "--driver", choices=("epsilon", "nsga2"), default="epsilon",
+        help="front-search driver: epsilon-constraint sweep of scalar "
+        "solves, or an NSGA-II population loop",
+    )
+    p.add_argument("--method", choices=("dc_sa", "only_sa", "exact"),
+                   default="dc_sa")
+    p.add_argument(
+        "--points", type=int, default=5, metavar="K",
+        help="epsilon levels per secondary axis (epsilon driver)",
+    )
+    p.add_argument(
+        "--population", type=int, default=16, metavar="P",
+        help="NSGA population size",
+    )
+    p.add_argument(
+        "--generations", type=int, default=8, metavar="G",
+        help="NSGA generations",
+    )
+    p.add_argument("--out", metavar="FILE",
+                   help="write all fronts as one JSON document")
+    _add_run_flags(p, search=True)
+    p.set_defaults(func=_cmd_pareto)
 
     p = sub.add_parser("simulate", help="cycle-accurate simulation of a scheme")
     p.add_argument("--n", type=int, default=8)

@@ -127,6 +127,33 @@ def solve_params(
     return params
 
 
+def pareto_params(
+    n: int,
+    c: int,
+    method: str,
+    effort: str,
+    driver: str,
+    objectives,
+    traffic: str = "uniform",
+) -> Dict:
+    """The identity params of a ``pareto`` front search.
+
+    ``objectives`` is the ordered axis tuple and ``traffic`` names the
+    gamma source (``"uniform"`` or a PARSEC workload), both part of the
+    identity: the same ``(n, C, seed)`` under different axes or traffic
+    is different work.
+    """
+    return {
+        "n": n,
+        "c": c,
+        "method": method,
+        "effort": effort,
+        "driver": driver,
+        "objectives": ",".join(objectives),
+        "traffic": traffic,
+    }
+
+
 def sweep_digest(sweep) -> str:
     """Bit-level fingerprint of a sweep's placements and energies."""
     parts = []

@@ -31,8 +31,16 @@ class AreaBreakdown:
 
     @property
     def table_fraction(self) -> float:
-        """Routing-table share of router area (the paper's < 0.5 %)."""
-        return self.table_um2 / self.total_um2
+        """Routing-table share of router area (the paper's < 0.5 %).
+
+        A degenerate all-zero breakdown (e.g. a zeroed TechParams in a
+        what-if sweep) has no area to take a share of: the fraction is
+        0.0, not a division error.
+        """
+        total = self.total_um2
+        if total <= 0:
+            return 0.0
+        return self.table_um2 / total
 
 
 def router_area(

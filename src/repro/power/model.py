@@ -27,6 +27,13 @@ from typing import Dict
 from repro.power.params import TechParams
 from repro.sim.config import SimConfig
 from repro.topology.mesh import MeshTopology
+from repro.util.errors import ConfigurationError
+
+#: Activity counters dynamic_power integrates, as produced by
+#: :meth:`repro.sim.network.Network.activity_counters`.
+ACTIVITY_KEYS = (
+    "buffer_writes", "buffer_reads", "crossbar_traversals", "link_flit_hops",
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,12 @@ def dynamic_power(
     tech = tech or TechParams()
     if cycles <= 0:
         raise ValueError("cycles must be positive")
+    missing = [key for key in ACTIVITY_KEYS if key not in activity]
+    if missing:
+        raise ConfigurationError(
+            f"activity counters missing {missing}; expected keys "
+            f"{list(ACTIVITY_KEYS)}"
+        )
     # Power = (events / cycles) * frequency * (energy per event).
     rate = tech.frequency_hz / cycles
     return {

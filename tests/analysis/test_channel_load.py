@@ -142,3 +142,60 @@ class TestSimulatorAgreement:
             best_accepted = max(best_accepted, summary.throughput_packets_per_cycle)
         assert best_accepted <= bound * 1.05
         assert best_accepted >= bound * 0.5
+
+
+class TestDegenerateInputs:
+    def test_empty_report_bottleneck_is_none(self):
+        # Self-traffic only: every route is zero-length, no channel is
+        # ever touched, and the report must degrade gracefully.
+        topo = MeshTopology.mesh(3)
+        gamma = np.eye(9)
+        report = channel_loads(tables_for(topo), gamma)
+        assert report.loads == {}
+        assert report.bottleneck is None
+        assert report.max_load_per_packet == 0.0
+
+    def test_empty_report_stats_are_zero(self):
+        topo = MeshTopology.mesh(3)
+        report = channel_loads(tables_for(topo), np.eye(9))
+        stats = load_balance_stats(report)
+        assert stats == {
+            "channels": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0,
+            "imbalance": 0.0,
+        }
+
+    def test_uniform_gamma_single_node_all_zero(self):
+        g = uniform_gamma(1)
+        assert g.shape == (1, 1)
+        assert g.sum() == 0.0
+
+    def test_all_zero_loads_are_balanced_not_an_error(self):
+        topo = MeshTopology.mesh(3)
+        report = channel_loads(tables_for(topo))
+        zeroed = type(report)(
+            loads={k: 0.0 for k in report.loads},
+            flits_per_packet=report.flits_per_packet,
+            max_load_per_packet=0.0,
+        )
+        stats = load_balance_stats(zeroed)
+        assert stats["mean"] == 0.0
+        assert stats["imbalance"] == 0.0
+
+    def test_zero_mean_with_positive_max_is_infinite_imbalance(self):
+        # Unreachable from nonnegative loads, but the contract is a
+        # defined value, never ZeroDivisionError: a zero mean with any
+        # positive peak reports infinite imbalance.
+        topo = MeshTopology.mesh(3)
+        report = channel_loads(tables_for(topo))
+        loads = {k: 0.0 for k in report.loads}
+        # The smallest subnormal: a positive peak whose mean over the
+        # channel count underflows to exactly zero.
+        loads[next(iter(loads))] = 5e-324
+        degenerate = type(report)(
+            loads=loads,
+            flits_per_packet=report.flits_per_packet,
+            max_load_per_packet=0.0,
+        )
+        assert np.array(list(loads.values())).mean() == 0.0
+        stats = load_balance_stats(degenerate)
+        assert stats["imbalance"] == float("inf")

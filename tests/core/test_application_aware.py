@@ -206,3 +206,83 @@ class TestOptimizeApplicationAware:
         assert result.total_latency == pytest.approx(
             result.weighted_head_latency + result.serialization
         )
+
+
+class TestSelfTrafficHandling:
+    def test_diagonal_stripped_from_weighted_average(self):
+        # Self-traffic never enters the network; adding it must not
+        # dilute the weighted average.
+        n = 4
+        rng = np.random.default_rng(3)
+        gamma = rng.random((n * n, n * n))
+        np.fill_diagonal(gamma, 0.0)
+        topo = MeshTopology.uniform(RowPlacement.mesh(n))
+        clean = weighted_average_head_latency(topo, gamma)
+        diluted = gamma.copy()
+        np.fill_diagonal(diluted, 10.0)
+        assert weighted_average_head_latency(topo, diluted) == pytest.approx(clean)
+
+    def test_diagonal_only_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_average_head_latency(
+                MeshTopology.mesh(3), np.eye(9)
+            )
+
+    def test_pinned_corrected_average(self):
+        # One unit flow (0,0) -> (2,0) on a 3x3 mesh plus self-traffic:
+        # the row leg is 2 mesh hops at router_delay 3 + link 1 each,
+        # no column leg, so the weighted average is exactly 8.0
+        # regardless of the diagonal (which previously diluted it).
+        n = 3
+        gamma = np.zeros((9, 9))
+        gamma[0, 2] = 1.0
+        np.fill_diagonal(gamma, 5.0)
+        got = weighted_average_head_latency(MeshTopology.mesh(n), gamma)
+        assert got == pytest.approx(8.0)
+
+    def test_weights_unchanged_by_diagonal(self):
+        n = 3
+        rng = np.random.default_rng(9)
+        gamma = rng.random((9, 9))
+        np.fill_diagonal(gamma, 0.0)
+        noisy = gamma.copy()
+        np.fill_diagonal(noisy, 7.0)
+        for clean_w, noisy_w in zip(row_weights(gamma, n), row_weights(noisy, n)):
+            assert np.allclose(clean_w, noisy_w)
+        for clean_w, noisy_w in zip(col_weights(gamma, n), col_weights(noisy, n)):
+            assert np.allclose(clean_w, noisy_w)
+
+
+class TestSingleValidation:
+    def test_optimize_validates_gamma_once(self, monkeypatch):
+        import repro.core.application_aware as mod
+
+        calls = []
+        real = mod._check_gamma
+
+        def counting(gamma, n):
+            calls.append(n)
+            return real(gamma, n)
+
+        monkeypatch.setattr(mod, "_check_gamma", counting)
+        n = 3
+        rng = np.random.default_rng(1)
+        gamma = rng.random((9, 9))
+        np.fill_diagonal(gamma, 0.0)
+        mod.optimize_application_aware(gamma, n, 2, params=QUICK, rng=7)
+        assert len(calls) == 1
+
+    def test_results_identical_with_or_without_diagonal(self):
+        n = 3
+        rng = np.random.default_rng(4)
+        gamma = rng.random((9, 9))
+        np.fill_diagonal(gamma, 0.0)
+        noisy = gamma.copy()
+        np.fill_diagonal(noisy, 3.0)
+        a = optimize_application_aware(gamma, n, 2, params=QUICK, rng=11)
+        b = optimize_application_aware(noisy, n, 2, params=QUICK, rng=11)
+        assert a.weighted_head_latency == b.weighted_head_latency
+        for sa, sb in zip(a.row_solutions, b.row_solutions):
+            assert sa.placement == sb.placement
+        for sa, sb in zip(a.col_solutions, b.col_solutions):
+            assert sa.placement == sb.placement

@@ -42,3 +42,22 @@ class TestOverheadClaim:
         assert (
             max_table_overhead(MeshTopology.mesh(16), SimConfig(flit_bits=256)) < 0.005
         )
+
+
+class TestDegenerateBreakdown:
+    def test_zero_total_has_zero_table_fraction(self):
+        from repro.power.area import AreaBreakdown
+
+        empty = AreaBreakdown(
+            buffer_um2=0.0, crossbar_um2=0.0, control_um2=0.0, table_um2=0.0
+        )
+        assert empty.total_um2 == 0.0
+        assert empty.table_fraction == 0.0
+
+    def test_positive_total_unchanged(self):
+        from repro.power.area import AreaBreakdown
+
+        b = AreaBreakdown(
+            buffer_um2=3.0, crossbar_um2=0.0, control_um2=0.0, table_um2=1.0
+        )
+        assert b.table_fraction == pytest.approx(0.25)

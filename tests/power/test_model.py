@@ -87,3 +87,28 @@ class TestRoutingTableBits:
         # 2(n-1) entries of ceil(log2(n-1)) + 1 bits each.
         assert routing_table_bits(8) == 2 * 7 * 4
         assert routing_table_bits(16) == 2 * 15 * 5
+
+
+class TestActivityValidation:
+    def test_missing_counter_named_in_error(self):
+        from repro.util.errors import ConfigurationError
+
+        activity = {
+            "buffer_writes": 1, "buffer_reads": 1, "crossbar_traversals": 1,
+        }
+        with pytest.raises(ConfigurationError, match="link_flit_hops"):
+            dynamic_power(activity, cycles=10, flit_bits=128)
+
+    def test_all_missing_lists_expected_keys(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="buffer_writes"):
+            dynamic_power({}, cycles=10, flit_bits=128)
+
+    def test_extra_keys_ignored(self):
+        activity = {
+            "buffer_writes": 1, "buffer_reads": 1,
+            "crossbar_traversals": 1, "link_flit_hops": 1,
+            "retransmissions": 99,
+        }
+        assert sum(dynamic_power(activity, 10, 128).values()) > 0

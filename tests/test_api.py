@@ -187,3 +187,54 @@ class TestEvaluatePlacement:
         mesh = evaluate_placement(RowPlacement.mesh(8))
         express = evaluate_placement(RowPlacement(8, frozenset({(1, 6)})))
         assert express.row_head_latency < mesh.row_head_latency
+
+
+class TestSearchConfigObjectives:
+    def test_defaults_off(self):
+        cfg = SearchConfig()
+        assert cfg.objectives == ()
+        assert cfg.pareto is None
+
+    def test_list_coerced_to_tuple(self):
+        cfg = SearchConfig(objectives=["latency", "power"])
+        assert cfg.objectives == ("latency", "power")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"objectives": ("latency", "speed")},
+            {"objectives": ("latency", "latency")},
+            {"objectives": ("latency",), "pareto": "weighted-sum"},
+            {"pareto": "epsilon"},  # driver without axes
+            {"objectives": ("latency",), "pareto": "epsilon", "space": "hetero"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SearchConfig(**kwargs)
+
+    def test_json_round_trip(self):
+        cfg = SearchConfig(
+            seed=7, objectives=("latency", "power"), pareto="nsga2"
+        )
+        again = SearchConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert again.objectives == ("latency", "power")
+
+    def test_from_cli_reads_pareto_flags(self):
+        ns = type("Args", (), {})()
+        ns.seed = 1
+        ns.objectives = ("latency", "area")
+        ns.pareto = "epsilon"
+        cfg = SearchConfig.from_cli(ns)
+        assert cfg.objectives == ("latency", "area")
+        assert cfg.pareto == "epsilon"
+
+    def test_lazy_pareto_exports(self):
+        import repro.api as api
+
+        assert api.ParetoFront is not None
+        assert callable(api.pareto_front)
+        assert callable(api.hypervolume)
+        with pytest.raises(AttributeError):
+            api.no_such_export

@@ -133,3 +133,52 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "HFB" in out
+
+
+class TestPareto:
+    def test_pareto_smoke(self, capsys):
+        assert main([
+            "pareto", "--n", "6", "--c", "2", "--effort", "smoke",
+            "--points", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "nondominated point(s)" in out
+        assert "hypervolume" in out
+
+    def test_pareto_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "fronts.json"
+        assert main([
+            "pareto", "--n", "6", "--c", "2,3", "--effort", "smoke",
+            "--points", "1", "--out", str(out_file),
+        ]) == 0
+        import json as jsonlib
+
+        payload = jsonlib.loads(out_file.read_text())
+        assert payload["kind"] == "pareto_fronts"
+        assert [s["c"] for s in payload["scenarios"]] == [2, 3]
+        from repro.core.pareto import ParetoFront
+
+        for scenario in payload["scenarios"]:
+            front = ParetoFront.from_json(scenario["front"])
+            assert front.points
+
+    def test_pareto_rejects_unknown_traffic(self, capsys):
+        assert main([
+            "pareto", "--n", "6", "--traffic", "doom3", "--effort", "smoke",
+        ]) == 2
+        assert "unknown traffic" in capsys.readouterr().err
+
+    def test_pareto_rejects_unknown_objective(self, capsys):
+        assert main([
+            "pareto", "--n", "6", "--objectives", "latency,speed",
+            "--effort", "smoke",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_pareto_ledger_records_runs(self, tmp_path, capsys):
+        assert main([
+            "pareto", "--n", "6", "--c", "2", "--effort", "smoke",
+            "--points", "1", "--ledger", str(tmp_path / "ledger"),
+        ]) == 0
+        assert "run recorded:" in capsys.readouterr().out
