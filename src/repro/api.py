@@ -32,7 +32,7 @@ import time
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.routing.shortest_path import IMPLEMENTATIONS
+from repro.routing.impls import IMPLEMENTATIONS, resolve_impl  # noqa: F401
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
 
@@ -171,8 +171,14 @@ class SearchConfig:
         is incompatible with ``incremental`` (the O(n^2) engine prices
         moves one chain at a time by construction).
     impl:
-        Floyd-Warshall implementation (``"vectorized"`` or the
-        pure-Python ``"reference"`` oracle).
+        Floyd-Warshall implementation: ``"vectorized"`` (NumPy,
+        default), the pure-Python ``"reference"`` oracle, or the
+        compiled ``"native"`` tier (optional numba / C-extension
+        backends, ``pip install repro[native]``).  ``None`` resolves
+        through the ``REPRO_IMPL`` environment default; all tiers are
+        bit-identical by the cross-impl parity gates, so ``impl`` is a
+        pure wall-clock knob and -- like ``jobs``/``chains`` -- is
+        excluded from ledger run identities.
     incremental:
         Price SA candidates with the O(n^2) dynamic APSP engine
         (:mod:`repro.routing.incremental`) instead of a full O(n^3)
@@ -216,7 +222,7 @@ class SearchConfig:
     restarts: int = 1
     jobs: int = 1
     chains: int = 1
-    impl: str = "vectorized"
+    impl: Optional[str] = None
     incremental: bool = False
     resync_every: int = 1_000
     max_evaluations: Optional[int] = None
@@ -245,10 +251,11 @@ class SearchConfig:
                 "batched Floyd-Warshall call, while the incremental "
                 "engine prices moves one chain at a time"
             )
-        if self.impl not in IMPLEMENTATIONS:
-            raise ConfigurationError(
-                f"unknown impl {self.impl!r}; expected one of {IMPLEMENTATIONS}"
-            )
+        # Centralized tier resolution: validates the name, applies the
+        # REPRO_IMPL environment default when impl is None, and
+        # degrades an env-requested but unavailable "native" to
+        # "vectorized" (an explicit "native" raises instead).
+        object.__setattr__(self, "impl", resolve_impl(self.impl))
         if self.resync_every < 0:
             raise ConfigurationError(
                 f"resync_every must be >= 0, got {self.resync_every}"
@@ -737,18 +744,21 @@ def evaluate_placement(
     mix=None,
     cost=None,
     weights=None,
-    impl: str = "vectorized",
+    impl: Optional[str] = None,
 ) -> EvalResult:
     """Price an existing row placement into an :class:`EvalResult`.
 
     Without ``link_limit`` only the head-latency terms are computed;
     with it the placement is validated against ``C`` and the full
     Eq. 2 breakdown (flit width, serialization, worst case) is filled
-    in.
+    in.  ``impl=None`` resolves through
+    :func:`repro.routing.impls.resolve_impl` (``REPRO_IMPL`` honored).
     """
     import numpy as np
 
     from repro.core.latency import mean_row_head_latency
+
+    impl = resolve_impl(impl)
 
     w = None if weights is None else np.asarray(weights, dtype=float)
     row = mean_row_head_latency(placement, cost, w, impl=impl)

@@ -56,7 +56,7 @@ from repro.api import SEARCH_SPACES, SearchConfig
 from repro.core.connection_matrix import ConnectionMatrix
 from repro.core.optimizer import optimize, solve_row_problem
 from repro.harness.designs import EFFORTS, hfb_design, mesh_design
-from repro.routing.shortest_path import IMPLEMENTATIONS
+from repro.routing.impls import IMPLEMENTATIONS
 from repro.harness.tables import pct_change, render_table
 from repro.obs import Instrumentation, JsonlSink, report_file
 from repro.obs.ledger import (
@@ -112,8 +112,12 @@ def _add_run_flags(
             "(results identical to --restarts; composes with --jobs)",
         )
         g.add_argument(
-            "--impl", choices=IMPLEMENTATIONS, default="vectorized",
-            help="Floyd-Warshall implementation (reference = pure-Python oracle)",
+            "--impl", choices=IMPLEMENTATIONS, default=None,
+            help="Floyd-Warshall implementation: vectorized (NumPy, the "
+            "default), reference (pure-Python oracle), or native "
+            "(compiled tier; pip install repro[native]).  All tiers are "
+            "bit-identical.  Unset, the REPRO_IMPL environment default "
+            "applies",
         )
         g.add_argument(
             "--space", choices=SEARCH_SPACES, default="row",
@@ -901,6 +905,56 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Environment report: versions, kernel tiers, resolution, cores.
+
+    The support-bundle line for serve deployments: one command that
+    says which interpreter/array stack a box runs, whether the optional
+    native tier loads (and through which backend), and what ``--impl``
+    would resolve to there.
+    """
+    import os
+    import platform
+
+    import numpy as np
+
+    from repro.routing import native
+    from repro.routing.impls import (
+        IMPL_ENV_VAR,
+        available_impls,
+        resolve_impl,
+    )
+
+    print(f"python      {platform.python_version()}  ({sys.executable})")
+    print(f"platform    {platform.platform()}")
+    print(f"numpy       {np.__version__}")
+    try:
+        import numba
+
+        print(f"numba       {numba.__version__}")
+    except ImportError:
+        print("numba       not installed (pip install repro[native])")
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        tiers = available_impls()
+        default = resolve_impl(None)
+    for impl in IMPLEMENTATIONS:
+        status = "available" if impl in tiers else "unavailable"
+        if impl == "native":
+            if impl in tiers:
+                status = f"available (backend: {native.backend_name()})"
+            elif native.unavailable_reason():
+                status = f"unavailable ({native.unavailable_reason()})"
+        print(f"impl        {impl:<11} {status}")
+    env = os.environ.get(IMPL_ENV_VAR)
+    origin = f"{IMPL_ENV_VAR}={env}" if env else "built-in default"
+    print(f"default     {default}  ({origin})")
+    print(f"cpus        {os.cpu_count()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1075,6 +1129,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser(
+        "doctor",
+        help="report python/numpy/numba versions, kernel tiers, cpu count",
+    )
+    p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
         "trace-report", help="summarize a JSONL trace written by --trace-out"
     )
     p.add_argument("trace", help="path to a JSONL trace file")
@@ -1151,7 +1211,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        # Misconfiguration (unknown impl, unavailable native tier,
+        # invalid knob combos) is a user error, not a crash: one line
+        # on stderr, exit 2, matching the pareto command's convention.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

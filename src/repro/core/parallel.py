@@ -126,6 +126,11 @@ def _run_single(task: SearchTask, restart: int) -> TaskResult:
     sink = MemorySink() if task.capture_events else None
     obs = Instrumentation(sinks=[] if sink is None else [sink])
     obs.set_context(task=[task.link_limit, restart])
+    # Under impl="native", constructing the objective warms the
+    # compiled backend up (JIT / shared-object load, once per worker
+    # process) before any solve span opens; the cost is reported as a
+    # kernel.compile event on this worker's sink instead of polluting
+    # the latency.floyd_warshall span.
     objective = RowObjective(
         cost=task.cost,
         weights=task.weights,
@@ -169,6 +174,8 @@ def _run_population(task: SearchTask) -> List[TaskResult]:
     sink = MemorySink() if task.capture_events else None
     obs = Instrumentation(sinks=[] if sink is None else [sink])
     obs.set_context(task=[task.link_limit, list(task.restarts)])
+    # Native warm-up once per worker process, outside all solve spans
+    # (see _run_single).
     objective = RowObjective(
         cost=task.cost,
         weights=task.weights,

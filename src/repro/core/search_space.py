@@ -59,6 +59,7 @@ from repro.core.latency import (
 )
 from repro.core.optimizer import METHODS
 from repro.obs.instrument import Instrumentation, ensure_obs
+from repro.routing.impls import check_impl
 from repro.routing.shortest_path import (
     INF,
     HopCostModel,
@@ -151,6 +152,7 @@ class MeshObjective:
     obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
+        check_impl(self.impl)
         if self.weights is None:
             return
         w = np.asarray(self.weights, dtype=float)

@@ -46,9 +46,13 @@ LEDGER_ROOT = os.path.join(".repro", "runs")
 
 #: SearchConfig/SimConfig fields excluded from the run identity: pure
 #: wall-clock knobs (results are bit-identical for every value) and
-#: observability settings (never touch any RNG stream).
+#: observability settings (never touch any RNG stream).  ``impl`` is
+#: here because the kernel tiers are bit-identical by the cross-impl
+#: parity gates -- the same search yields the same run_id whether it
+#: was priced by the NumPy, reference, or native kernels.
 NON_IDENTITY_FIELDS = frozenset({
     "jobs", "chains", "trace_out", "metrics_every", "profile", "ledger",
+    "impl",
 })
 
 

@@ -1,0 +1,251 @@
+"""C-extension fallback backend for the native kernel tier.
+
+Used by :mod:`repro.routing.native` when numba is not installed: a
+~60-line C translation of the three hot kernels, compiled on first use
+with the system C compiler into a content-addressed cache directory
+(``.repro/native/`` by default, override with ``REPRO_NATIVE_CACHE``)
+and loaded through :mod:`ctypes`.  No third-party build dependency: the
+shared object is plain C (no ``Python.h``), so only ``cc``/``gcc``/
+``clang`` is needed, and only once per machine -- the cache key is a
+hash of the C source, so edits recompile automatically.
+
+Bit-identity contract
+---------------------
+
+The kernels assume the domain the weight-stack builders guarantee:
+nonnegative weights, zero diagonals, ``inf`` for missing edges, never
+NaN.  On that domain the in-place relaxation of iteration ``k`` cannot
+change row ``k`` or column ``k`` (``d[k][k] == 0`` and improvements are
+strict), so every candidate ``d[i][k] + d[k][j]`` reads exactly the
+values the out-of-place NumPy form reads, the IEEE additions are the
+same, ties resolve the same way, and the results are bitwise equal --
+the property the cross-impl parity suites pin.  The build deliberately
+avoids ``-ffast-math`` and forces ``-ffp-contract=off`` so the compiler
+cannot re-associate or fuse those additions.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+#: Override for the compiled-kernel cache directory.
+CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* Batched min-plus Floyd-Warshall, distances only, in place.
+ * d is a C-contiguous (B, n, n) float64 stack.  Row k and column k are
+ * invariant within iteration k (zero diagonal, strict improvement), so
+ * the in-place form is bitwise equal to the out-of-place NumPy form.
+ */
+void repro_fw_dist_batch(double *d, int64_t B, int64_t n) {
+    for (int64_t s = 0; s < B; s++) {
+        double *m = d + s * n * n;
+        for (int64_t k = 0; k < n; k++) {
+            const double *rowk = m + k * n;
+            for (int64_t i = 0; i < n; i++) {
+                double dik = m[i * n + k];
+                if (isinf(dik)) continue;  /* inf never improves */
+                double *rowi = m + i * n;
+                for (int64_t j = 0; j < n; j++) {
+                    double via = dik + rowk[j];
+                    rowi[j] = via < rowi[j] ? via : rowi[j];
+                }
+            }
+        }
+    }
+}
+
+/* As above, with next-hop emission: strict-< improvement routes i->j
+ * through i's first hop toward k; ties keep the incumbent.  nh[i][k]
+ * can only change at j == k, which needs dik + 0 < dik -- impossible --
+ * so the pre-loop read matches NumPy's iteration-start snapshot.
+ */
+void repro_fw_batch(double *d, int64_t *nh, int64_t B, int64_t n) {
+    for (int64_t s = 0; s < B; s++) {
+        double *m = d + s * n * n;
+        int64_t *h = nh + s * n * n;
+        for (int64_t k = 0; k < n; k++) {
+            const double *rowk = m + k * n;
+            for (int64_t i = 0; i < n; i++) {
+                double dik = m[i * n + k];
+                if (isinf(dik)) continue;
+                double *rowi = m + i * n;
+                int64_t *hrow = h + i * n;
+                int64_t hik = hrow[k];
+                for (int64_t j = 0; j < n; j++) {
+                    double via = dik + rowk[j];
+                    if (via < rowi[j]) {
+                        rowi[j] = via;
+                        hrow[j] = hik;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* Crossing-block rewrite of the incremental APSP engine: re-min the
+ * block rows < `rows`, cols >= b of both directional layers over the K
+ * crossing edges (us[e], vs[e]) with hop cost cs[e].  S is the
+ * C-contiguous (2, n, n) layer stack.  Association order
+ * (S[i][u] + c) + S[v][j], minimum accumulated in edge order -- the
+ * bitwise contract shared with both NumPy paths.  Reads touch columns
+ * us[e] < b and rows vs[e] >= b > rows-1 only, so writing the block in
+ * place never feeds a stale value back in.
+ */
+void repro_inc_update(double *S, int64_t n, int64_t rows, int64_t b,
+                      const int64_t *us, const int64_t *vs,
+                      const double *cs, int64_t K) {
+    for (int64_t layer = 0; layer < 2; layer++) {
+        double *L = S + layer * n * n;
+        for (int64_t i = 0; i < rows; i++) {
+            double *rowi = L + i * n;
+            for (int64_t j = b; j < n; j++) {
+                double acc = (rowi[us[0]] + cs[0]) + L[vs[0] * n + j];
+                for (int64_t e = 1; e < K; e++) {
+                    double t = (rowi[us[e]] + cs[e]) + L[vs[e] * n + j];
+                    if (t < acc) acc = t;
+                }
+                rowi[j] = acc;
+            }
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_kernels = None
+
+
+def _find_compiler():
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return shutil.which(cc)
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(".repro", "native")
+
+
+def _so_name() -> str:
+    digest = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:12]
+    return f"repro_native_{digest}.so"
+
+
+def _so_path() -> str:
+    return os.path.join(_cache_dir(), _so_name())
+
+
+def plausible() -> bool:
+    """Could :func:`load` succeed?  Checks cache and toolchain only."""
+    try:
+        if os.path.exists(_so_path()):
+            return True
+    except OSError:
+        pass
+    return _find_compiler() is not None
+
+
+def _compile(so_path: str) -> None:
+    cc = _find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    cache = os.path.dirname(so_path)
+    os.makedirs(cache, exist_ok=True)
+    # Build in a private temp dir, then atomically publish: concurrent
+    # worker processes may race to compile and must not see a torn .so.
+    build = tempfile.mkdtemp(prefix="build-", dir=cache)
+    try:
+        src = os.path.join(build, "repro_native.c")
+        with open(src, "w") as fh:
+            fh.write(C_SOURCE)
+        out = os.path.join(build, _so_name())
+        cmd = [
+            cc, "-O3", "-fPIC", "-shared",
+            # Bit-identity hardening: no re-association, no FMA fusing.
+            "-fno-fast-math", "-ffp-contract=off",
+            src, "-o", out, "-lm",
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"C compile failed ({' '.join(cmd)}): {proc.stderr.strip()}"
+            )
+        os.replace(out, so_path)
+    finally:
+        shutil.rmtree(build, ignore_errors=True)
+
+
+class _Kernels:
+    """ctypes wrappers enforcing the dtype/layout contract per call."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        i64 = ctypes.c_int64
+        ptr = ctypes.c_void_p
+        lib.repro_fw_dist_batch.argtypes = [ptr, i64, i64]
+        lib.repro_fw_dist_batch.restype = None
+        lib.repro_fw_batch.argtypes = [ptr, ptr, i64, i64]
+        lib.repro_fw_batch.restype = None
+        lib.repro_inc_update.argtypes = [ptr, i64, i64, i64, ptr, ptr, ptr, i64]
+        lib.repro_inc_update.restype = None
+        self._lib = lib
+
+    @staticmethod
+    def _require(arr: np.ndarray, dtype) -> None:
+        if arr.dtype != dtype or not arr.flags.c_contiguous:
+            raise ValueError(
+                f"native kernels need C-contiguous {np.dtype(dtype).name} "
+                f"arrays, got {arr.dtype} with flags {arr.flags}"
+            )
+
+    def fw_dist_batch(self, d: np.ndarray) -> None:
+        self._require(d, np.float64)
+        self._lib.repro_fw_dist_batch(d.ctypes.data, d.shape[0], d.shape[1])
+
+    def fw_batch(self, d: np.ndarray, nh: np.ndarray) -> None:
+        self._require(d, np.float64)
+        self._require(nh, np.int64)
+        self._lib.repro_fw_batch(
+            d.ctypes.data, nh.ctypes.data, d.shape[0], d.shape[1]
+        )
+
+    def inc_update(self, S, rows, b, us, vs, cs) -> None:
+        self._require(S, np.float64)
+        self._require(us, np.int64)
+        self._require(vs, np.int64)
+        self._require(cs, np.float64)
+        self._lib.repro_inc_update(
+            S.ctypes.data, S.shape[1], rows, b,
+            us.ctypes.data, vs.ctypes.data, cs.ctypes.data, us.shape[0],
+        )
+
+
+def load() -> _Kernels:
+    """The kernel namespace, compiling into the cache on first use."""
+    global _kernels
+    with _lock:
+        if _kernels is None:
+            so_path = _so_path()
+            if not os.path.exists(so_path):
+                _compile(so_path)
+            _kernels = _Kernels(ctypes.CDLL(os.path.abspath(so_path)))
+        return _kernels

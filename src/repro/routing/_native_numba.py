@@ -1,0 +1,90 @@
+"""Numba backend for the native kernel tier (``pip install repro[native]``).
+
+Imported lazily by :mod:`repro.routing.native` only -- importing numba
+here at module scope is fine because this module is never imported by
+``import repro`` (a test pins that).  The three kernels mirror the C
+translations in :mod:`repro.routing._native_cext` statement for
+statement; see that module's docstring for the bit-identity argument
+(row/column ``k`` invariance within iteration ``k``, identical IEEE
+additions, strict-< ties).  ``cache=True`` persists the compiled
+machine code next to this file so each machine pays the JIT cost once;
+per-process warm-up (and the ``kernel.compile`` obs event) happens in
+:func:`repro.routing.native.warmup`.
+
+``prange`` is deliberately not used: the SA engine fans work out across
+*processes* (``--jobs``), and numba's thread pools do not survive a
+fork, while the slice loops here are already cache-resident at the
+paper's row sizes.  Keeping the kernels single-threaded makes them
+fork-safe and keeps bit-identity trivially independent of thread count.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+from numba import njit  # heavyweight import; only via routing.native
+
+
+@njit(cache=True)
+def _fw_dist_batch(d):
+    B, n = d.shape[0], d.shape[1]
+    for s in range(B):
+        for k in range(n):
+            for i in range(n):
+                dik = d[s, i, k]
+                if dik == np.inf:
+                    continue
+                for j in range(n):
+                    via = dik + d[s, k, j]
+                    if via < d[s, i, j]:
+                        d[s, i, j] = via
+
+
+@njit(cache=True)
+def _fw_batch(d, nh):
+    B, n = d.shape[0], d.shape[1]
+    for s in range(B):
+        for k in range(n):
+            for i in range(n):
+                dik = d[s, i, k]
+                if dik == np.inf:
+                    continue
+                hik = nh[s, i, k]
+                for j in range(n):
+                    via = dik + d[s, k, j]
+                    if via < d[s, i, j]:
+                        d[s, i, j] = via
+                        nh[s, i, j] = hik
+
+
+@njit(cache=True)
+def _inc_update(S, rows, b, us, vs, cs):
+    n = S.shape[1]
+    K = us.shape[0]
+    for layer in range(2):
+        for i in range(rows):
+            for j in range(b, n):
+                acc = (S[layer, i, us[0]] + cs[0]) + S[layer, vs[0], j]
+                for e in range(1, K):
+                    t = (S[layer, i, us[e]] + cs[e]) + S[layer, vs[e], j]
+                    if t < acc:
+                        acc = t
+                S[layer, i, j] = acc
+
+
+def fw_dist_batch(d: np.ndarray) -> None:
+    _fw_dist_batch(d)
+
+
+def fw_batch(d: np.ndarray, nh: np.ndarray) -> None:
+    _fw_batch(d, nh)
+
+
+def inc_update(S, rows, b, us, vs, cs) -> None:
+    _inc_update(S, rows, b, us, vs, cs)
+
+
+def load():
+    """The kernel namespace (this module doubles as it)."""
+    return sys.modules[__name__]

@@ -60,6 +60,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.routing.impls import check_impl
 from repro.routing.shortest_path import (
     HopCostModel,
     floyd_warshall_batch,
@@ -84,13 +85,30 @@ class IncrementalApspEngine:
     * ``_D`` -- the combined matrix :func:`directional_distances`
       returns (upper = l2r, lower = r2l, diagonal zero), synced lazily
       from ``_S`` because only :meth:`distances` needs it.
+
+    ``impl`` selects the kernel tier for the rebuild pass and the
+    block rewrites: ``"native"`` runs the compiled crossing-block
+    kernel of :mod:`repro.routing.native` (same association order and
+    edge-order min accumulation, hence bitwise-equal state);
+    ``self_check()`` always re-solves with the NumPy kernels, so under
+    ``"native"`` it doubles as a cross-impl gate on live SA state.
     """
 
     def __init__(
-        self, placement: RowPlacement, cost: Optional[HopCostModel] = None
+        self,
+        placement: RowPlacement,
+        cost: Optional[HopCostModel] = None,
+        impl: str = "vectorized",
     ) -> None:
+        check_impl(impl)
         self.n = placement.n
         self.cost = cost or HopCostModel()
+        self.impl = impl
+        # The oracle tier has no incremental form; it (like the
+        # default) runs the NumPy block rewrites, which the parity
+        # suite proves bit-identical anyway.  Only "native" swaps in
+        # the compiled kernels.
+        self._kernel_impl = "native" if impl == "native" else "vectorized"
         self.links = set(placement.express_links)
         self._hop = [self.cost.hop_cost(k) for k in range(max(self.n, 2))]
         self._upper = np.triu(np.ones((self.n, self.n), dtype=bool), k=1)
@@ -102,7 +120,7 @@ class IncrementalApspEngine:
 
     def _rebuild(self) -> None:
         stack = floyd_warshall_distances_batch(
-            weight_stack(self.placement, self.cost)
+            weight_stack(self.placement, self.cost), impl=self._kernel_impl
         )
         self._S = np.empty((2, self.n, self.n))
         self._S[0] = stack[0]
@@ -133,6 +151,16 @@ class IncrementalApspEngine:
                 vs.append(v)
                 cs.append(hop[v - u])
         rows = amax + 1
+        if self._kernel_impl == "native":
+            from repro.routing import native
+
+            native.inc_update_boundary(
+                S, rows, b,
+                np.asarray(us, dtype=np.int64),
+                np.asarray(vs, dtype=np.int64),
+                np.asarray(cs, dtype=np.float64),
+            )
+            return
         if len(us) < 5:
             # Few crossing edges (the norm: the cross-section limit caps
             # them): scalar-indexed views beat the fancy-index gather's

@@ -18,8 +18,11 @@ A pure-Python triple-loop implementation is retained in
 :mod:`repro.routing.shortest_path_ref` as the reference; the parity
 suite (``tests/routing/test_shortest_path_parity.py``) proves the
 vectorized kernels bit-identical to it -- distances *and* next hops --
-and the public entry points take ``impl="vectorized" | "reference"``
-so any caller can be flipped onto the oracle.
+and the public entry points take
+``impl="vectorized" | "reference" | "native"`` so any caller can be
+flipped onto the oracle or onto the compiled tier
+(:mod:`repro.routing.native`; optional, bit-identical, and selected
+centrally through :func:`repro.routing.impls.resolve_impl`).
 """
 
 from __future__ import annotations
@@ -29,23 +32,17 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.routing.impls import (  # noqa: F401  (IMPLEMENTATIONS re-exported)
+    IMPLEMENTATIONS,
+    check_impl as _check_impl,
+)
 from repro.topology.row import RowPlacement
 
 #: Direction tags for the two passes.
 LEFT_TO_RIGHT = "l2r"
 RIGHT_TO_LEFT = "r2l"
 
-#: Recognized implementations of the directional kernels.
-IMPLEMENTATIONS = ("vectorized", "reference")
-
 INF = np.inf
-
-
-def _check_impl(impl: str) -> None:
-    if impl not in IMPLEMENTATIONS:
-        raise ValueError(
-            f"unknown impl {impl!r}; expected one of {IMPLEMENTATIONS}"
-        )
 
 
 @dataclass(frozen=True)
@@ -167,6 +164,7 @@ def batched_mean_distances(
     placements: Sequence[RowPlacement],
     cost: HopCostModel | None = None,
     weights: np.ndarray | None = None,
+    impl: str = "vectorized",
 ) -> np.ndarray:
     """Mean directional head latency of each placement, in one FW pass.
 
@@ -176,11 +174,18 @@ def batched_mean_distances(
     order of the scalar path -- results are bit-identical to ``B``
     scalar evaluations.  ``weights`` (an ``n x n`` nonnegative matrix,
     validated as in the scalar path) switches to the traffic-weighted
-    mean.  Returns shape ``(B,)``.
+    mean.  ``impl`` selects the Floyd-Warshall kernel: ``"native"``
+    swaps in the compiled pass (stack building and the pinned-order
+    mean reduction stay in NumPy -- they are O(B n^2) against the
+    pass's O(B n^3), and the reduction's pairwise-summation order is
+    part of the bit-identity contract); ``"reference"`` prices the
+    population one placement at a time through the pure-Python oracle.
+    Returns shape ``(B,)``.
     """
     from repro.util.errors import ConfigurationError
 
     cost = cost or HopCostModel()
+    _check_impl(impl)
     placements = list(placements)
     if not placements:
         return np.empty(0, dtype=float)
@@ -192,7 +197,18 @@ def batched_mean_distances(
         total = w.sum()
         if total <= 0:
             raise ConfigurationError("weights must have positive sum")
-    stack = floyd_warshall_distances_batch(weight_stack_population(placements, cost))
+    if impl == "reference":
+        out = []
+        for placement in placements:
+            dist = directional_distances(placement, cost, impl="reference")
+            if w is None:
+                out.append(dist.mean())
+            else:
+                out.append((dist * w).sum() / total)
+        return np.asarray(out, dtype=float)
+    stack = floyd_warshall_distances_batch(
+        weight_stack_population(placements, cost), impl=impl
+    )
     upper = np.triu(np.ones((n, n), dtype=bool), k=1)
     # Combine the directional pairs for all placements at once; each
     # combined[b] is then a C-contiguous (n, n) slice whose reduction
@@ -211,7 +227,9 @@ def batched_mean_distances(
     return (combined * w).reshape(len(placements), -1).sum(axis=1) / total
 
 
-def floyd_warshall_batch(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def floyd_warshall_batch(
+    w: np.ndarray, impl: str = "vectorized"
+) -> Tuple[np.ndarray, np.ndarray]:
     """Batched min-plus Floyd-Warshall with next-hop reconstruction.
 
     ``w`` has shape ``(B, n, n)``; every batch slice is relaxed through
@@ -219,15 +237,27 @@ def floyd_warshall_batch(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     ``(dist, next_hop)`` stacks of the same shape, with the per-slice
     semantics of :func:`floyd_warshall` (strict ``<`` improvement, ties
     keep the incumbent next hop, ``-1`` for unreachable pairs, ``j`` on
-    the diagonal).
+    the diagonal).  ``impl="native"`` runs the compiled in-place pass
+    (:mod:`repro.routing.native`), which is bit-identical on the
+    zero-diagonal nonnegative stacks the weight builders produce;
+    other tiers use this NumPy loop (the batch kernels *are* the
+    vectorized implementation -- the pure-Python oracle lives at the
+    ``directional_*`` level).
     """
     if w.ndim != 3 or w.shape[1] != w.shape[2]:
         raise ValueError(f"expected a (B, n, n) stack, got shape {w.shape}")
+    _check_impl(impl)
     n = w.shape[1]
-    dist = w.copy()
     cols = np.arange(n)
     next_hop = np.where(np.isfinite(w), cols[None, None, :], -1).astype(np.int64)
     next_hop[:, cols, cols] = cols
+    if impl == "native":
+        from repro.routing import native
+
+        dist = np.array(w, dtype=np.float64, order="C")
+        native.fw_batch_inplace(dist, next_hop)
+        return dist, next_hop
+    dist = w.copy()
     for k in range(n):
         via = dist[:, :, k, None] + dist[:, None, k, :]
         better = via < dist
@@ -238,15 +268,26 @@ def floyd_warshall_batch(w: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return dist, next_hop
 
 
-def floyd_warshall_distances_batch(w: np.ndarray) -> np.ndarray:
+def floyd_warshall_distances_batch(
+    w: np.ndarray, impl: str = "vectorized"
+) -> np.ndarray:
     """Distance-only batched Floyd-Warshall (the annealing hot path).
 
     One ``k`` loop covers every slice of the ``(B, n, n)`` stack; used
     with :func:`weight_stack` it halves the Python-loop overhead of an
     objective evaluation versus two single-matrix passes.
+    ``impl="native"`` dispatches to the compiled in-place pass (see
+    :func:`floyd_warshall_batch` for the tier semantics).
     """
     if w.ndim != 3 or w.shape[1] != w.shape[2]:
         raise ValueError(f"expected a (B, n, n) stack, got shape {w.shape}")
+    _check_impl(impl)
+    if impl == "native":
+        from repro.routing import native
+
+        dist = np.array(w, dtype=np.float64, order="C")
+        native.fw_distances_batch_inplace(dist)
+        return dist
     dist = w.copy()
     for k in range(w.shape[1]):
         np.minimum(dist, dist[:, :, k, None] + dist[:, None, k, :], out=dist)
@@ -311,10 +352,11 @@ def directional_distances(
 ) -> np.ndarray:
     """All-pairs directional head latencies (no next hops; fast path).
 
-    ``impl`` selects the batched NumPy kernel (default) or the
-    pure-Python reference in :mod:`repro.routing.shortest_path_ref`;
-    the two are bit-identical by the parity suite, so the switch exists
-    for verification and benchmarking, not for results.
+    ``impl`` selects the batched NumPy kernel (default), the
+    pure-Python reference in :mod:`repro.routing.shortest_path_ref`,
+    or the compiled ``"native"`` tier; all are bit-identical by the
+    cross-impl parity suite, so the switch exists for verification and
+    speed, not for results.
     """
     cost = cost or HopCostModel()
     _check_impl(impl)
@@ -323,7 +365,7 @@ def directional_distances(
 
         return np.asarray(ref.directional_distances_py(placement, cost))
     n = placement.n
-    stack = floyd_warshall_distances_batch(weight_stack(placement, cost))
+    stack = floyd_warshall_distances_batch(weight_stack(placement, cost), impl=impl)
     upper = np.triu(np.ones((n, n), dtype=bool), k=1)
     dist = np.where(upper, stack[0], stack[1])
     np.fill_diagonal(dist, 0.0)
@@ -353,7 +395,7 @@ def directional_paths(
 
         dist, next_hop = ref.directional_paths_py(placement, cost)
         return np.asarray(dist), np.asarray(next_hop, dtype=np.int64)
-    d, nh = floyd_warshall_batch(weight_stack(placement, cost))
+    d, nh = floyd_warshall_batch(weight_stack(placement, cost), impl=impl)
     upper = np.triu(np.ones((n, n), dtype=bool), k=1)
     dist = np.where(upper, d[0], d[1])
     next_hop = np.where(upper, nh[0], nh[1])

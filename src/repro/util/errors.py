@@ -28,6 +28,16 @@ class ConfigurationError(ReproError):
     """
 
 
+class UnknownImplementationError(ConfigurationError, ValueError):
+    """An ``impl=`` kernel-tier name is not recognized.
+
+    Derives from both :class:`ConfigurationError` (the library-wide
+    contract) and :class:`ValueError` (the type the kernel seam raised
+    historically), so callers that catch either keep working after the
+    validation moved into :mod:`repro.routing.impls`.
+    """
+
+
 class SimulationError(ReproError):
     """The cycle-accurate simulator detected an internal inconsistency.
 

@@ -1,5 +1,6 @@
 """Run ledger: content-addressed manifests and the ``repro runs`` CLI."""
 
+import dataclasses
 import json
 import os
 
@@ -47,6 +48,17 @@ class TestRunId:
                 )
         assert "jobs" not in config_identity(base)
         assert "restarts" in config_identity(base)
+
+    def test_impl_excluded_from_identity(self):
+        # The kernel tiers are bit-identical by the cross-impl parity
+        # gates, so ``impl`` is a wall-clock knob like jobs/chains: the
+        # same search priced by any tier owns the same run_id.
+        base = compute_run_id("optimize", {"n": 8}, SearchConfig(seed=3), 3)
+        fields = dataclasses.asdict(SearchConfig(seed=3))
+        for impl in ("vectorized", "reference", "native"):
+            variant = dict(fields, impl=impl)
+            assert compute_run_id("optimize", {"n": 8}, variant, 3) == base
+        assert "impl" not in config_identity(SearchConfig(seed=3))
 
     def test_digest_parts_distinguishes_bytes(self):
         assert digest_parts(b"ab", b"c") != digest_parts(b"a", b"bc")

@@ -10,7 +10,10 @@ equality on placements -- which is what every test here demands.
 
 Hypothesis drives the population shapes (including ``B = 1`` and
 duplicate members) and non-integral hop costs; fixed-seed tests pin the
-lockstep-SA and chains-vs-restarts equivalences end to end.
+lockstep-SA and chains-vs-restarts equivalences end to end.  The
+kernel-level checks are cross-impl gates: they run once per tier
+available on this machine (``native`` joins when a compiled backend
+loads), always comparing against the default path's bits.
 """
 
 import numpy as np
@@ -34,6 +37,7 @@ from repro.core.latency import RowObjective
 from repro.core.parallel import parallel_row_search, parallel_sweep
 from repro.obs import MemorySink
 from repro.obs.instrument import Instrumentation
+from repro.routing.impls import available_impls
 from repro.routing.shortest_path import (
     HopCostModel,
     batched_mean_distances,
@@ -53,6 +57,10 @@ COSTS = (
 )
 
 SMOKE = AnnealingParams(total_moves=400, moves_per_cooldown=100)
+
+#: Cross-impl gate axis: every tier usable on this machine.
+AVAILABLE_IMPLS = available_impls()
+FAST_IMPLS = tuple(i for i in AVAILABLE_IMPLS if i != "reference")
 
 
 @st.composite
@@ -85,13 +93,14 @@ def test_weight_stack_population_matches_scalar_stacks(pop):
             assert np.array_equal(stacked[2 * b:2 * b + 2], single)
 
 
+@pytest.mark.parametrize("impl", AVAILABLE_IMPLS)
 @settings(max_examples=40, deadline=None)
-@given(populations())
-def test_batched_mean_distances_matches_scalar_objective(pop):
+@given(pop=populations())
+def test_batched_mean_distances_matches_scalar_objective(pop, impl):
     _, batch = pop
     for cost in COSTS:
         objective = RowObjective(cost=cost)
-        energies = batched_mean_distances(batch, cost)
+        energies = batched_mean_distances(batch, cost, impl=impl)
         assert energies.shape == (len(batch),)
         for placement, energy in zip(batch, energies):
             assert float(energy) == objective(placement)
@@ -111,14 +120,18 @@ def test_batched_mean_distances_weighted_parity(pop, seed):
             assert float(energy) == objective(placement)
 
 
-def test_batched_distances_equal_per_placement_passes():
+@pytest.mark.parametrize("impl", FAST_IMPLS)
+def test_batched_distances_equal_per_placement_passes(impl):
     # The (2B, n, n) stack relaxes each slice independently, so it must
-    # equal B separate (2, n, n) runs exactly.
+    # equal B separate (2, n, n) runs exactly -- under every fast tier,
+    # and bit-identical to the default tier's bits.
     batch = [
         ConnectionMatrix.random(8, 3, np.random.default_rng(k)).decode()
         for k in range(6)
     ]
-    stacked = floyd_warshall_distances_batch(weight_stack_population(batch, COSTS[1]))
+    stacked = floyd_warshall_distances_batch(
+        weight_stack_population(batch, COSTS[1]), impl=impl
+    )
     for b, placement in enumerate(batch):
         single = floyd_warshall_distances_batch(weight_stack(placement, COSTS[1]))
         assert np.array_equal(stacked[2 * b:2 * b + 2], single)
@@ -128,13 +141,14 @@ def test_batched_distances_equal_per_placement_passes():
 # Objective-level parity (fold/dedup layers)
 # ----------------------------------------------------------------------
 
+@pytest.mark.parametrize("impl", AVAILABLE_IMPLS)
 @settings(max_examples=40, deadline=None)
-@given(populations())
-def test_evaluate_many_matches_scalar_calls(pop):
+@given(pop=populations())
+def test_evaluate_many_matches_scalar_calls(pop, impl):
     _, batch = pop
     for cost in COSTS:
         scalar = RowObjective(cost=cost)
-        batched = RowObjective(cost=cost)
+        batched = RowObjective(cost=cost, impl=impl)
         expected = [scalar(p) for p in batch]
         got = batched.evaluate_many(batch)
         assert [float(v) for v in got] == expected

@@ -1,9 +1,12 @@
-"""Parity suite for the dynamic directional-APSP engine.
+"""Cross-impl parity suite for the dynamic directional-APSP engine.
 
 The contract is strong: after any sequence of link flips (including
 rejected + rolled-back ones) the engine's distances *and* next hops are
 bit-identical to a from-scratch :func:`directional_paths` solve, under
-both the vectorized and the pure-Python reference implementations.
+the vectorized, pure-Python reference, and (when a backend loads)
+compiled native implementations.  The engine-impl axis below runs the
+kernel-distinct tiers through the same walks, so the native
+crossing-block rewrite is gated against the NumPy one bit for bit.
 """
 
 from collections import Counter
@@ -16,12 +19,17 @@ from repro.routing.incremental import (
     IncrementalApspEngine,
     placement_link_changes,
 )
+from repro.routing.impls import available_impls
 from repro.routing.shortest_path import HopCostModel, directional_paths
 from repro.topology.row import RowPlacement
 from repro.util.errors import ConfigurationError
 
 SIZES = (4, 6, 8, 16)
 LIMITS = (2, 3, 4, 5)
+
+#: The engine tiers with distinct kernels ("reference" engines reuse
+#: the vectorized block rewrites, so gating them adds no coverage).
+ENGINE_IMPLS = tuple(i for i in available_impls() if i != "reference")
 
 
 def assert_matches_full(engine, impl="vectorized", cost=None):
@@ -33,17 +41,19 @@ def assert_matches_full(engine, impl="vectorized", cost=None):
 
 
 class TestFreshEngine:
+    @pytest.mark.parametrize("engine_impl", ENGINE_IMPLS)
     @pytest.mark.parametrize("n", SIZES)
-    def test_mesh_matches_full_solver(self, n):
-        engine = IncrementalApspEngine(RowPlacement.mesh(n))
+    def test_mesh_matches_full_solver(self, n, engine_impl):
+        engine = IncrementalApspEngine(RowPlacement.mesh(n), impl=engine_impl)
         assert_matches_full(engine)
 
+    @pytest.mark.parametrize("engine_impl", ENGINE_IMPLS)
     @pytest.mark.parametrize("n", SIZES)
     @pytest.mark.parametrize("limit", LIMITS)
-    def test_random_placement_matches_both_impls(self, n, limit):
+    def test_random_placement_matches_all_impls(self, n, limit, engine_impl):
         rng = np.random.default_rng(7 * n + limit)
         m = ConnectionMatrix.random(n, limit, rng=rng)
-        engine = IncrementalApspEngine(m.decode())
+        engine = IncrementalApspEngine(m.decode(), impl=engine_impl)
         assert_matches_full(engine, impl="vectorized")
         assert_matches_full(engine, impl="reference")
 
@@ -166,12 +176,13 @@ class TestRandomWalks:
             for link in m.layer_links(layer)
         )
 
+    @pytest.mark.parametrize("engine_impl", ENGINE_IMPLS)
     @pytest.mark.parametrize("n", SIZES)
     @pytest.mark.parametrize("limit", LIMITS)
-    def test_walk_stays_bit_identical(self, n, limit):
+    def test_walk_stays_bit_identical(self, n, limit, engine_impl):
         rng = np.random.default_rng(1000 * n + limit)
         m = ConnectionMatrix.random(n, limit, rng=rng)
-        engine = IncrementalApspEngine(m.decode())
+        engine = IncrementalApspEngine(m.decode(), impl=engine_impl)
         counts = self.link_counts(m)
         steps = 60 if n < 16 else 30
         for step in range(steps):
@@ -193,7 +204,8 @@ class TestRandomWalks:
         assert_matches_full(engine)
         assert_matches_full(engine, impl="reference")
 
-    def test_walk_with_dyadic_cost_model(self):
+    @pytest.mark.parametrize("engine_impl", ENGINE_IMPLS)
+    def test_walk_with_dyadic_cost_model(self, engine_impl):
         # Non-default but exactly-representable costs: bit-identity must
         # survive arbitrary per-hop sums built from dyadic rationals.
         cost = HopCostModel(
@@ -201,7 +213,7 @@ class TestRandomWalks:
         )
         rng = np.random.default_rng(42)
         m = ConnectionMatrix.random(8, 4, rng=rng)
-        engine = IncrementalApspEngine(m.decode(), cost)
+        engine = IncrementalApspEngine(m.decode(), cost, impl=engine_impl)
         counts = self.link_counts(m)
         for _ in range(40):
             row, layer = m.random_move(rng)

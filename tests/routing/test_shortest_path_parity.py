@@ -1,12 +1,14 @@
-"""Parity suite: vectorized Floyd-Warshall == pure-Python reference.
+"""Cross-impl parity suite: every kernel tier == pure-Python reference.
 
 The batched NumPy kernels in :mod:`repro.routing.shortest_path` run on
 the annealing hot path; :mod:`repro.routing.shortest_path_ref` is the
-triple-loop specification.  These tests demand *bit-identical*
-distances and next-hop tables over randomized rows -- both
-implementations relax ``k`` in the same order and break ties with the
-same strict ``<``, so exact equality is the contract, not an
-approximation.
+triple-loop specification, and the optional compiled tier
+(:mod:`repro.routing.native`) must be indistinguishable from both.
+These tests are a cross-impl *gate* parameterized over every tier
+available on this machine: they demand bit-identical distances and
+next-hop tables over randomized rows -- all implementations relax
+``k`` in the same order and break ties with the same strict ``<``, so
+exact equality is the contract, not an approximation.
 
 The second half proves the parallel engine is an execution detail: for
 a fixed seed, ``optimize(..., config=SearchConfig(restarts=R, jobs=K))``
@@ -35,7 +37,13 @@ from repro.routing.shortest_path import (
     weight_matrix,
     weight_stack,
 )
+from repro.routing.impls import available_impls
 from repro.topology.row import RowPlacement
+
+#: Every tier usable here ("native" joins when a backend loads); the
+#: fast tiers are gated against the oracle below.
+AVAILABLE_IMPLS = available_impls()
+FAST_IMPLS = tuple(i for i in AVAILABLE_IMPLS if i != "reference")
 
 SIZES = (4, 6, 8, 16)
 LIMITS = (2, 3, 4, 5)
@@ -55,31 +63,34 @@ def random_placements(n, limit, count=5, seed=0):
     return [ConnectionMatrix.random(n, limit, gen).decode() for _ in range(count)]
 
 
+@pytest.mark.parametrize("impl", FAST_IMPLS)
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("limit", LIMITS)
-def test_directional_distances_bit_identical(n, limit):
+def test_directional_distances_bit_identical(n, limit, impl):
     for cost in COSTS:
         for placement in random_placements(n, limit):
-            fast = directional_distances(placement, cost)
+            fast = directional_distances(placement, cost, impl=impl)
             ref = directional_distances(placement, cost, impl="reference")
             assert fast.shape == ref.shape == (n, n)
             assert np.array_equal(fast, ref), str(placement)
 
 
+@pytest.mark.parametrize("impl", FAST_IMPLS)
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("limit", LIMITS)
-def test_directional_paths_bit_identical(n, limit):
+def test_directional_paths_bit_identical(n, limit, impl):
     for cost in COSTS:
         for placement in random_placements(n, limit):
-            d_fast, nh_fast = directional_paths(placement, cost)
+            d_fast, nh_fast = directional_paths(placement, cost, impl=impl)
             d_ref, nh_ref = directional_paths(placement, cost, impl="reference")
             assert np.array_equal(d_fast, d_ref), str(placement)
             assert np.array_equal(nh_fast, nh_ref), str(placement)
             assert nh_fast.dtype == nh_ref.dtype == np.int64
 
 
+@pytest.mark.parametrize("impl", FAST_IMPLS)
 @pytest.mark.parametrize("n", SIZES)
-def test_batched_kernels_match_single_matrix_kernels(n):
+def test_batched_kernels_match_single_matrix_kernels(n, impl):
     cost = HopCostModel()
     for placement in random_placements(n, 4, count=3, seed=1):
         stack = weight_stack(placement, cost)
@@ -88,11 +99,11 @@ def test_batched_kernels_match_single_matrix_kernels(n):
         assert np.array_equal(stack[0], w_lr)
         assert np.array_equal(stack[1], w_rl)
 
-        d_batch = floyd_warshall_distances_batch(stack)
+        d_batch = floyd_warshall_distances_batch(stack, impl=impl)
         assert np.array_equal(d_batch[0], floyd_warshall_distances(w_lr))
         assert np.array_equal(d_batch[1], floyd_warshall_distances(w_rl))
 
-        d_full, nh_full = floyd_warshall_batch(stack)
+        d_full, nh_full = floyd_warshall_batch(stack, impl=impl)
         d0, nh0 = floyd_warshall(w_lr)
         d1, nh1 = floyd_warshall(w_rl)
         assert np.array_equal(d_full[0], d0) and np.array_equal(nh_full[0], nh0)
@@ -115,7 +126,7 @@ def test_unknown_impl_rejected():
         directional_paths(p, impl="")
 
 
-@pytest.mark.parametrize("impl", ["vectorized", "reference"])
+@pytest.mark.parametrize("impl", AVAILABLE_IMPLS)
 def test_next_hop_tables_are_self_consistent(impl):
     """dist[i, j] decomposes exactly as hop-to-next + dist[next, j]."""
     cost = HopCostModel()
@@ -132,11 +143,12 @@ def test_next_hop_tables_are_self_consistent(impl):
                 assert dist[i, j] == cost.hop_cost(abs(step - i)) + dist[step, j]
 
 
-def test_objective_identical_under_both_impls():
-    fast = RowObjective()
-    ref = RowObjective(impl="reference")
+@pytest.mark.parametrize("impl", AVAILABLE_IMPLS)
+def test_objective_identical_under_every_impl(impl):
+    base = RowObjective()
+    other = RowObjective(impl=impl)
     for placement in random_placements(8, 4, count=6, seed=3):
-        assert fast(placement) == ref(placement)
+        assert base(placement) == other(placement)
 
 
 def _parallel_sweep(n, seed, restarts, jobs, **kwargs):

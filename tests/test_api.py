@@ -96,6 +96,21 @@ class TestSearchConfig:
         ns = type("Args", (), {"seed": 5})()
         assert SearchConfig.from_cli(ns) == SearchConfig(seed=5)
 
+    def test_impl_none_resolves_to_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IMPL", raising=False)
+        assert SearchConfig(impl=None).impl == "vectorized"
+
+    def test_impl_none_honors_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IMPL", "reference")
+        assert SearchConfig(impl=None).impl == "reference"
+        # Explicit arguments beat the environment default.
+        assert SearchConfig(impl="vectorized").impl == "vectorized"
+
+    def test_impl_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IMPL", "turbo")
+        with pytest.raises(ConfigurationError):
+            SearchConfig()
+
 
 class TestLegacyKwargsRejected:
     """The deprecation shim is gone: retired keywords hard-error with a

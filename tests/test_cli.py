@@ -182,3 +182,32 @@ class TestPareto:
             "--points", "1", "--ledger", str(tmp_path / "ledger"),
         ]) == 0
         assert "run recorded:" in capsys.readouterr().out
+
+
+class TestDoctor:
+    """``repro doctor``: one screen of environment + tier diagnostics."""
+
+    def test_doctor_reports_versions_and_tiers(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out
+        assert "numpy" in out
+        assert "numba" in out
+        assert "cpus" in out
+        for tier in ("vectorized", "reference", "native"):
+            assert tier in out
+        # The portable tiers are available everywhere; native reports
+        # either its backend or why it cannot load.
+        assert out.count("available") >= 2
+        assert ("backend:" in out) or ("unavailable" in out)
+
+    def test_doctor_reports_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_IMPL", "reference")
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_IMPL" in out
+        assert "reference" in out
+
+    def test_doctor_registered_in_parser(self):
+        args = build_parser().parse_args(["doctor"])
+        assert args.command == "doctor"
